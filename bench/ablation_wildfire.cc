@@ -1,0 +1,73 @@
+// Ablation: the §5.3 WILDFIRE engineering optimizations.
+//
+// Toggles piggyback-on-broadcast, per-distance early termination,
+// known-value send suppression, and same-instant flood coalescing, and
+// reports message cost per configuration. Validity is never affected (the
+// tests prove answer equality); cost is.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+namespace validity {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("hosts", 20000, "network size");
+  flags.DefineString("topology", "random", "topology name");
+  flags.DefineInt("seed", 42, "base seed");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  bench::PrintHeader(
+      "Ablation - WILDFIRE optimizations (count query, message cost)",
+      "paper §5.3: piggybacking and early aggregation curb the 2*Dh*|E| "
+      "worst case");
+
+  auto graph = bench::MakeTopology(
+      flags.GetString("topology"),
+      static_cast<uint32_t>(flags.GetInt("hosts")), seed);
+  VALIDITY_CHECK(graph.ok());
+  core::QueryEngine engine(&*graph,
+                           core::MakeZipfValues(graph->num_hosts(), seed + 1));
+
+  TablePrinter table({"piggyback", "skip_known", "coalesce", "messages",
+                      "bytes", "vs_full_opt"});
+  uint64_t baseline = 0;
+  for (bool piggyback : {true, false}) {
+    for (bool skip_known : {true, false}) {
+      for (bool coalesce : {true, false}) {
+        core::QuerySpec spec;
+        spec.aggregate = AggregateKind::kCount;
+        spec.fm_vectors = 16;
+        core::RunConfig config;
+        config.protocol = protocols::ProtocolKind::kWildfire;
+        config.protocol_options.wildfire.piggyback_broadcast = piggyback;
+        config.protocol_options.wildfire.skip_known_neighbors = skip_known;
+        config.protocol_options.wildfire.coalesce_floods = coalesce;
+        config.sketch_seed = seed;
+        auto result = engine.Run(spec, config, 0);
+        VALIDITY_CHECK(result.ok());
+        if (baseline == 0) baseline = result->cost.messages;
+        table.NewRow()
+            .Cell(piggyback ? "on" : "off")
+            .Cell(skip_known ? "on" : "off")
+            .Cell(coalesce ? "on" : "off")
+            .Cell(static_cast<int64_t>(result->cost.messages))
+            .Cell(static_cast<int64_t>(result->cost.bytes))
+            .Cell(static_cast<double>(result->cost.messages) /
+                      static_cast<double>(baseline),
+                  2);
+      }
+    }
+  }
+  bench::EmitTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

@@ -1,0 +1,55 @@
+// Shared plumbing for the figure-reproduction bench binaries: topology
+// construction by name, common flags, and output conventions. Every bench
+// prints (a) an aligned table mirroring the paper figure's series and (b)
+// the same rows as CSV for replotting.
+
+#ifndef VALIDITY_BENCH_BENCH_UTIL_H_
+#define VALIDITY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "topology/algorithms.h"
+#include "topology/generators.h"
+
+namespace validity::bench {
+
+/// Builds one of the paper's §6.1 topologies. `name` is one of
+/// "gnutella" (synthetic stand-in for the 39,046-host crawl), "random"
+/// (ER, avg degree 5), "power-law" (gamma 2.9), "grid" (sqrt(n) x sqrt(n)
+/// Moore sensor field).
+inline StatusOr<topology::Graph> MakeTopology(const std::string& name,
+                                              uint32_t hosts, uint64_t seed) {
+  if (name == "gnutella") return topology::MakeGnutellaLike(hosts, seed);
+  if (name == "random") return topology::MakeRandom(hosts, 5.0, seed);
+  if (name == "power-law") return topology::MakePowerLaw(hosts, 2.9, seed);
+  if (name == "grid") {
+    uint32_t side = 1;
+    while ((side + 1) * (side + 1) <= hosts) ++side;
+    return topology::MakeGrid(side);
+  }
+  return Status::InvalidArgument("unknown topology '" + name + "'");
+}
+
+/// Prints the standard bench banner.
+inline void PrintHeader(const std::string& what, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// Prints a table twice: aligned and as CSV.
+inline void EmitTable(const TablePrinter& table) {
+  table.Print(std::cout);
+  std::printf("\n--- csv ---\n");
+  table.PrintCsv(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace validity::bench
+
+#endif  // VALIDITY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Figure 6: accuracy of the duplicate-insensitive count and sum operators.
+//
+// Paper setup (§6.4): sets M of Zipf-distributed elements in [10, 500] with
+// |M| in {2^10, 2^12, 2^14}; plot the ratio estimate/truth against the
+// number of FM repetitions c. Expected shape: the ratio converges to 1 as c
+// grows, and c ~ 8 already suffices.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "sketch/fm_sketch.h"
+
+namespace validity {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("trials", 10, "trials per (|M|, c) cell");
+  flags.DefineInt("seed", 42, "base RNG seed");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  bench::PrintHeader("Fig. 6 - accuracy of count and sum operators",
+                     "ratio m-hat/m vs repetitions c; |M| in {2^10, 2^12, "
+                     "2^14}; converges to 1 by c ~ 8");
+
+  auto zipf = ZipfGenerator::Make(10, 500, 1.0);
+  VALIDITY_CHECK(zipf.ok());
+
+  TablePrinter table({"set_size", "c", "count_ratio_mean", "count_ratio_ci95",
+                      "sum_ratio_mean", "sum_ratio_ci95"});
+  for (int log_size : {10, 12, 14}) {
+    const size_t set_size = size_t{1} << log_size;
+    for (uint32_t c : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      RunningStat count_ratio;
+      RunningStat sum_ratio;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(Mix64(seed + 1000 * log_size + 10 * c + t));
+        std::vector<int64_t> values = zipf->SampleMany(&rng, set_size);
+        int64_t truth_sum = 0;
+        for (int64_t v : values) truth_sum += v;
+        sketch::FmSetEstimate est =
+            sketch::EstimateSet(sketch::FmParams{c}, values, &rng);
+        count_ratio.Add(est.count / static_cast<double>(set_size));
+        sum_ratio.Add(est.sum / static_cast<double>(truth_sum));
+      }
+      table.NewRow()
+          .Cell(static_cast<int64_t>(set_size))
+          .Cell(static_cast<int64_t>(c))
+          .Cell(count_ratio.mean(), 3)
+          .Cell(count_ratio.ci95_half_width(), 3)
+          .Cell(sum_ratio.mean(), 3)
+          .Cell(sum_ratio.ci95_half_width(), 3);
+    }
+  }
+  bench::EmitTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

@@ -1,0 +1,16 @@
+// Figure 8: sum query on the Gnutella topology under increasing churn.
+// Same grid as Fig. 7 with q = sum of Zipf [10,500] attribute values; the
+// paper observes "the protocols behave similarly for v = sum(H) queries".
+
+#include "churn_figure.h"
+
+int main(int argc, char** argv) {
+  validity::bench::ChurnFigureConfig config;
+  config.aggregate = validity::AggregateKind::kSum;
+  config = validity::bench::ParseChurnFlags(argc, argv, config);
+  validity::bench::PrintHeader(
+      "Fig. 8 - sum query on the Gnutella topology",
+      "sum vs departures R; same shapes as the count figure");
+  validity::bench::RunChurnFigure(config);
+  return 0;
+}

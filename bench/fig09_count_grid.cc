@@ -1,0 +1,21 @@
+// Figure 9: count query on the Grid (sensor) topology under churn.
+//
+// Paper setup (§6.5): 100 x 100 grid, wireless medium. Expected shape:
+// SPANNINGTREE performs *extremely* poorly — its tree on the grid is deep,
+// most hosts are interior, and each interior failure drops the entire
+// collected subtree; WILDFIRE remains within the ORACLE bounds.
+
+#include "churn_figure.h"
+
+int main(int argc, char** argv) {
+  validity::bench::ChurnFigureConfig config;
+  config.aggregate = validity::AggregateKind::kCount;
+  config.topology = "grid";
+  config.hosts = 10000;  // 100 x 100
+  config = validity::bench::ParseChurnFlags(argc, argv, config);
+  validity::bench::PrintHeader(
+      "Fig. 9 - count query on the Grid topology",
+      "deep trees lose whole subtrees per failure; WILDFIRE stays valid");
+  validity::bench::RunChurnFigure(config);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 10: communication cost on Random topologies (count query).
+//
+// Paper setup (§6.6): messages sent vs network size |H| for SPANNINGTREE,
+// DAG and WILDFIRE, with WILDFIRE run at several D-hat overestimates, plus
+// the Gnutella topology as a reference point. Expected shape: the WILDFIRE
+// curves for different D-hat overlap exactly (cost is D-hat-insensitive);
+// DAG almost overlaps SPANNINGTREE (broadcast cost dominates); WILDFIRE
+// pays ~4-5x SPANNINGTREE — the price of validity.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+namespace validity {
+namespace {
+
+uint64_t Messages(const core::QueryEngine& engine,
+                  protocols::ProtocolKind kind, double d_hat, uint32_t k,
+                  uint64_t seed) {
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  spec.d_hat = d_hat;
+  core::RunConfig config;
+  config.protocol = kind;
+  config.protocol_options.dag.max_parents = k;
+  config.sketch_seed = seed;
+  auto result = engine.Run(spec, config, 0);
+  VALIDITY_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+  return result->cost.messages;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("sizes", "5000,10000,20000,40000",
+                     "comma-separated network sizes");
+  flags.DefineInt("seed", 42, "base seed");
+  flags.DefineBool("gnutella_point", true,
+                   "also measure the Gnutella reference topology");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::vector<uint32_t> sizes;
+  {
+    const std::string& text = flags.GetString("sizes");
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      sizes.push_back(
+          static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
+      pos = comma + 1;
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig. 10 - communication cost on Random topologies (count)",
+      "messages vs |H|; WILDFIRE D-hat curves overlap; ST ~ DAG; WILDFIRE "
+      "~4-5x ST");
+
+  TablePrinter table({"topology", "hosts", "diam", "spanning-tree", "dag-k2",
+                      "wf_dhat=D+2", "wf_dhat=2D", "wf_dhat=4D",
+                      "wf/st_ratio"});
+  auto measure = [&](const std::string& topo, uint32_t n) {
+    auto graph = bench::MakeTopology(topo, n, seed);
+    VALIDITY_CHECK(graph.ok());
+    core::QueryEngine engine(&*graph,
+                             core::MakeZipfValues(graph->num_hosts(),
+                                                  seed + 1));
+    double diameter = engine.EstimatedDiameter();
+    uint64_t st = Messages(engine, protocols::ProtocolKind::kSpanningTree,
+                           diameter + 2, 2, seed);
+    uint64_t dag = Messages(engine, protocols::ProtocolKind::kDag,
+                            diameter + 2, 2, seed);
+    uint64_t wf1 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                            diameter + 2, 2, seed);
+    uint64_t wf2 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                            2 * diameter, 2, seed);
+    uint64_t wf4 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                            4 * diameter, 2, seed);
+    table.NewRow()
+        .Cell(topo)
+        .Cell(static_cast<int64_t>(graph->num_hosts()))
+        .Cell(diameter, 0)
+        .Cell(static_cast<int64_t>(st))
+        .Cell(static_cast<int64_t>(dag))
+        .Cell(static_cast<int64_t>(wf1))
+        .Cell(static_cast<int64_t>(wf2))
+        .Cell(static_cast<int64_t>(wf4))
+        .Cell(static_cast<double>(wf1) / static_cast<double>(st), 2);
+  };
+
+  for (uint32_t n : sizes) measure("random", n);
+  if (flags.GetBool("gnutella_point")) {
+    measure("gnutella", topology::kGnutellaCrawlSize);
+  }
+  bench::EmitTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// Figure 11: communication cost on Grid topologies (wireless medium).
+//
+// Paper setup (§6.6): sensor grids with broadcast radios — one transmission
+// reaches all 8 neighbors. Expected shapes: DAG overlaps SPANNINGTREE
+// exactly (reporting to k parents is one transmission); WILDFIRE pays ~5x
+// SPANNINGTREE for count; WILDFIRE's max costs less than its count, and its
+// min costs *less than SPANNINGTREE* — early aggregation suppresses hosts
+// whose value cannot win.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+namespace validity {
+namespace {
+
+uint64_t Messages(const core::QueryEngine& engine, AggregateKind agg,
+                  protocols::ProtocolKind kind, uint32_t k, uint64_t seed) {
+  core::QuerySpec spec;
+  spec.aggregate = agg;
+  spec.fm_vectors = 16;
+  core::RunConfig config;
+  config.protocol = kind;
+  config.protocol_options.dag.max_parents = k;
+  config.sim_options.medium = sim::MediumKind::kWireless;
+  config.sketch_seed = seed;
+  auto result = engine.Run(spec, config, 0);
+  VALIDITY_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+  return result->cost.messages;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("sides", "50,70,100", "comma-separated grid sides");
+  flags.DefineInt("seed", 42, "base seed");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::vector<uint32_t> sides;
+  {
+    const std::string& text = flags.GetString("sides");
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      sides.push_back(
+          static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
+      pos = comma + 1;
+    }
+  }
+
+  bench::PrintHeader(
+      "Fig. 11 - communication cost on Grid (wireless, transmissions)",
+      "DAG == ST; WILDFIRE-count ~5x ST; WILDFIRE-min cheaper than ST");
+
+  TablePrinter table({"hosts", "st_count", "dag_k3_count", "wf_count",
+                      "wf_max", "wf_min", "wf_count/st", "wf_min/st"});
+  for (uint32_t side : sides) {
+    auto graph = topology::MakeGrid(side);
+    VALIDITY_CHECK(graph.ok());
+    core::QueryEngine engine(&*graph,
+                             core::MakeZipfValues(graph->num_hosts(),
+                                                  seed + 1));
+    uint64_t st = Messages(engine, AggregateKind::kCount,
+                           protocols::ProtocolKind::kSpanningTree, 2, seed);
+    uint64_t dag = Messages(engine, AggregateKind::kCount,
+                            protocols::ProtocolKind::kDag, 3, seed);
+    uint64_t wf_count = Messages(engine, AggregateKind::kCount,
+                                 protocols::ProtocolKind::kWildfire, 2, seed);
+    uint64_t wf_max = Messages(engine, AggregateKind::kMax,
+                               protocols::ProtocolKind::kWildfire, 2, seed);
+    uint64_t wf_min = Messages(engine, AggregateKind::kMin,
+                               protocols::ProtocolKind::kWildfire, 2, seed);
+    table.NewRow()
+        .Cell(static_cast<int64_t>(graph->num_hosts()))
+        .Cell(static_cast<int64_t>(st))
+        .Cell(static_cast<int64_t>(dag))
+        .Cell(static_cast<int64_t>(wf_count))
+        .Cell(static_cast<int64_t>(wf_max))
+        .Cell(static_cast<int64_t>(wf_min))
+        .Cell(static_cast<double>(wf_count) / static_cast<double>(st), 2)
+        .Cell(static_cast<double>(wf_min) / static_cast<double>(st), 2);
+  }
+  bench::EmitTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

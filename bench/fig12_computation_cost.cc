@@ -1,0 +1,103 @@
+// Figure 12: computation-cost distribution on Power-Law and Grid.
+//
+// Paper setup (§6.6.1): for a count query, plot the number of hosts (Y)
+// that processed X messages. Expected shapes: on Power-Law, WILDFIRE's
+// distribution matches SPANNINGTREE's shape shifted right (~2-4x max); on
+// Grid (wireless, 8 neighbors hear every send) WILDFIRE's per-host maximum
+// is ~40x the tree's.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+namespace validity {
+namespace {
+
+core::QueryResult RunOne(const core::QueryEngine& engine,
+                         protocols::ProtocolKind kind, sim::MediumKind medium,
+                         uint64_t seed) {
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  core::RunConfig config;
+  config.protocol = kind;
+  config.sim_options.medium = medium;
+  config.sketch_seed = seed;
+  auto result = engine.Run(spec, config, 0);
+  VALIDITY_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+  return *std::move(result);
+}
+
+void EmitDistribution(const std::string& label,
+                      const core::QueryResult& tree,
+                      const core::QueryResult& wildfire) {
+  std::printf("--- %s ---\n", label.c_str());
+  std::printf("computation cost (max messages processed by one host): "
+              "spanning-tree %llu, wildfire %llu (%.1fx)\n",
+              static_cast<unsigned long long>(tree.cost.max_processed),
+              static_cast<unsigned long long>(wildfire.cost.max_processed),
+              static_cast<double>(wildfire.cost.max_processed) /
+                  static_cast<double>(tree.cost.max_processed));
+  TablePrinter table({"messages_processed(bucket_low)", "st_hosts",
+                      "wf_hosts"});
+  auto tree_buckets = tree.cost.computation_histogram.Log2Buckets();
+  auto wf_buckets = wildfire.cost.computation_histogram.Log2Buckets();
+  size_t rows = std::max(tree_buckets.size(), wf_buckets.size());
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t low = i < wf_buckets.size() ? wf_buckets[i].first
+                                        : tree_buckets[i].first;
+    int64_t st_hosts = i < tree_buckets.size() ? tree_buckets[i].second : 0;
+    int64_t wf_hosts = i < wf_buckets.size() ? wf_buckets[i].second : 0;
+    table.NewRow().Cell(low).Cell(st_hosts).Cell(wf_hosts);
+  }
+  bench::EmitTable(table);
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("powerlaw_hosts", 40000, "power-law network size");
+  flags.DefineInt("grid_side", 100, "grid side length");
+  flags.DefineInt("seed", 42, "base seed");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  bench::PrintHeader(
+      "Fig. 12 - computation cost distribution (count query)",
+      "hosts (Y) per processed-message count (X); WILDFIRE ~2-4x ST on "
+      "power-law, ~40x on wireless Grid");
+
+  {
+    auto graph = bench::MakeTopology(
+        "power-law", static_cast<uint32_t>(flags.GetInt("powerlaw_hosts")),
+        seed);
+    VALIDITY_CHECK(graph.ok());
+    core::QueryEngine engine(&*graph,
+                             core::MakeZipfValues(graph->num_hosts(),
+                                                  seed + 1));
+    auto tree = RunOne(engine, protocols::ProtocolKind::kSpanningTree,
+                       sim::MediumKind::kPointToPoint, seed);
+    auto wf = RunOne(engine, protocols::ProtocolKind::kWildfire,
+                     sim::MediumKind::kPointToPoint, seed);
+    EmitDistribution("Power-Law (point-to-point)", tree, wf);
+  }
+  {
+    auto graph = topology::MakeGrid(
+        static_cast<uint32_t>(flags.GetInt("grid_side")));
+    VALIDITY_CHECK(graph.ok());
+    core::QueryEngine engine(&*graph,
+                             core::MakeZipfValues(graph->num_hosts(),
+                                                  seed + 1));
+    auto tree = RunOne(engine, protocols::ProtocolKind::kSpanningTree,
+                       sim::MediumKind::kWireless, seed);
+    auto wf = RunOne(engine, protocols::ProtocolKind::kWildfire,
+                     sim::MediumKind::kWireless, seed);
+    EmitDistribution("Grid (wireless)", tree, wf);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

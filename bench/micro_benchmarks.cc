@@ -1,0 +1,129 @@
+// Google-benchmark micro benchmarks for the hot substrate paths: FM sketch
+// operations, partial-aggregate combines, event-queue throughput, topology
+// generation, and a full small WILDFIRE query as an end-to-end unit.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/engine.h"
+#include "protocols/combiner.h"
+#include "sim/event_queue.h"
+#include "sketch/fm_sketch.h"
+#include "topology/generators.h"
+
+namespace validity {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  auto zipf = ZipfGenerator::Make(10, 500, 1.0);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf->Sample(&rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_FmInsertDistinct(benchmark::State& state) {
+  sketch::FmSketch s(sketch::FmParams{16});
+  Rng rng(1);
+  for (auto _ : state) s.InsertDistinctElement(&rng);
+}
+BENCHMARK(BM_FmInsertDistinct);
+
+void BM_FmForMagnitude(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::FmSketch::ForMagnitude(
+        sketch::FmParams{16}, static_cast<uint64_t>(state.range(0)), &rng));
+  }
+}
+BENCHMARK(BM_FmForMagnitude)->Arg(10)->Arg(500)->Arg(100000);
+
+void BM_FmMergeOr(benchmark::State& state) {
+  Rng rng(1);
+  sketch::FmSketch a =
+      sketch::FmSketch::ForMagnitude(sketch::FmParams{16}, 1000, &rng);
+  sketch::FmSketch b =
+      sketch::FmSketch::ForMagnitude(sketch::FmParams{16}, 2000, &rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.MergeOr(b));
+}
+BENCHMARK(BM_FmMergeOr);
+
+void BM_CombinerCombineFm(benchmark::State& state) {
+  Rng rng(1);
+  protocols::PartialAggregate a = protocols::PartialAggregate::Initial(
+      protocols::CombinerKind::kFmSum, 0, 250, sketch::FmParams{16}, &rng);
+  protocols::PartialAggregate b = protocols::PartialAggregate::Initial(
+      protocols::CombinerKind::kFmSum, 1, 400, sketch::FmParams{16}, &rng);
+  for (auto _ : state) {
+    protocols::PartialAggregate c = a;
+    benchmark::DoNotOptimize(c.CombineFrom(b));
+  }
+}
+BENCHMARK(BM_CombinerCombineFm);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int64_t sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.ScheduleAt(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    q.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_MakeRandomTopology(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = topology::MakeRandom(static_cast<uint32_t>(state.range(0)), 5.0,
+                                  42);
+    benchmark::DoNotOptimize(g->num_edges());
+  }
+}
+BENCHMARK(BM_MakeRandomTopology)->Arg(1000)->Arg(10000);
+
+void BM_WildfireCountQuery(benchmark::State& state) {
+  auto graph =
+      topology::MakeRandom(static_cast<uint32_t>(state.range(0)), 5.0, 42);
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(graph->num_hosts(),
+                                                         43));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  for (auto _ : state) {
+    auto result = engine.Run(spec, core::RunConfig{}, 0);
+    benchmark::DoNotOptimize(result->value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WildfireCountQuery)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_SpanningTreeCountQuery(benchmark::State& state) {
+  auto graph =
+      topology::MakeRandom(static_cast<uint32_t>(state.range(0)), 5.0, 42);
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(graph->num_hosts(),
+                                                         43));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  core::RunConfig config;
+  config.protocol = protocols::ProtocolKind::kSpanningTree;
+  for (auto _ : state) {
+    auto result = engine.Run(spec, config, 0);
+    benchmark::DoNotOptimize(result->value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpanningTreeCountQuery)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace validity
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// The headline numbers (§1.1, §6.6, §7): "WILDFIRE incurs similar costs as
+// best-effort algorithms for min and max queries, but has to pay ~5 times
+// higher communication cost for count and sum queries."
+//
+// One table: WILDFIRE/SPANNINGTREE message-cost ratio per (topology,
+// aggregate).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+
+namespace validity {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineInt("hosts", 20000, "synthetic topology size");
+  flags.DefineInt("seed", 42, "base seed");
+  ParseFlagsOrDie(&flags, argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const uint32_t hosts = static_cast<uint32_t>(flags.GetInt("hosts"));
+
+  bench::PrintHeader(
+      "Price of validity - WILDFIRE vs SPANNINGTREE message cost",
+      "count/sum ~4-5x, min/max ~1x (below 1 on Grid: early aggregation)");
+
+  TablePrinter table({"topology", "aggregate", "st_msgs", "wf_msgs",
+                      "price(wf/st)"});
+  for (const std::string& topo : {std::string("gnutella"),
+                                  std::string("random"),
+                                  std::string("power-law"),
+                                  std::string("grid")}) {
+    uint32_t n = topo == "grid" ? 10000 : hosts;
+    if (topo == "gnutella") n = topology::kGnutellaCrawlSize;
+    auto graph = bench::MakeTopology(topo, n, seed);
+    VALIDITY_CHECK(graph.ok());
+    core::QueryEngine engine(&*graph,
+                             core::MakeZipfValues(graph->num_hosts(),
+                                                  seed + 1));
+    for (AggregateKind agg : {AggregateKind::kCount, AggregateKind::kSum,
+                              AggregateKind::kMin, AggregateKind::kMax}) {
+      auto run = [&](protocols::ProtocolKind kind) {
+        core::QuerySpec spec;
+        spec.aggregate = agg;
+        spec.fm_vectors = 16;
+        core::RunConfig config;
+        config.protocol = kind;
+        config.sketch_seed = seed;
+        if (topo == "grid") {
+          config.sim_options.medium = sim::MediumKind::kWireless;
+        }
+        auto result = engine.Run(spec, config, 0);
+        VALIDITY_CHECK(result.ok());
+        return result->cost.messages;
+      };
+      uint64_t st = run(protocols::ProtocolKind::kSpanningTree);
+      uint64_t wf = run(protocols::ProtocolKind::kWildfire);
+      table.NewRow()
+          .Cell(topo)
+          .Cell(AggregateKindName(agg))
+          .Cell(static_cast<int64_t>(st))
+          .Cell(static_cast<int64_t>(wf))
+          .Cell(static_cast<double>(wf) / static_cast<double>(st), 2);
+    }
+  }
+  bench::EmitTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace validity
+
+int main(int argc, char** argv) { return validity::Main(argc, argv); }

@@ -1,0 +1,44 @@
+// Churn study: how does each protocol's answer degrade as the departure
+// rate climbs from 0% to 40%? A miniature, self-contained version of the
+// paper's Fig. 7 experiment — good starting point for custom studies.
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "topology/generators.h"
+
+int main() {
+  using namespace validity;
+
+  constexpr uint32_t kHosts = 3000;
+  auto overlay = topology::MakeGnutellaLike(kHosts, /*seed=*/51);
+  if (!overlay.ok()) return 1;
+
+  core::QueryEngine engine(&*overlay, core::MakeZipfValues(kHosts, 52));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+
+  core::ChurnSweepOptions sweep;
+  sweep.trials = 5;
+  std::vector<uint32_t> removals{0, 150, 300, 600, 1200};
+  auto cells = core::RunChurnSweep(engine, spec, /*hq=*/0,
+                                   core::StandardLineup(), removals, sweep);
+
+  std::printf("count query on a %u-host overlay, 5 trials per level\n\n",
+              kHosts);
+  std::printf("%6s %-14s %10s %8s %22s %7s\n", "R", "protocol", "answer",
+              "ci95", "oracle bounds", "valid%");
+  for (const auto& cell : cells) {
+    std::printf("%6u %-14s %10.0f %8.0f [%9.0f, %9.0f] %6.0f%%\n",
+                cell.removals, cell.protocol.c_str(), cell.value.mean,
+                cell.value.ci95, cell.oracle_low.mean, cell.oracle_high.mean,
+                100 * cell.within_slack_fraction);
+  }
+  std::printf(
+      "\nreading guide: as R grows, spanning-tree (and then dag) drop below\n"
+      "the oracle lower bound — invalid answers with no warning attached.\n"
+      "wildfire keeps every trial inside the interval: that is Single-Site\n"
+      "Validity, and the extra messages it sends are its price.\n");
+  return 0;
+}

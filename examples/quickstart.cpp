@@ -1,0 +1,61 @@
+// Quickstart: run one Single-Site-Valid aggregate query over a dynamic
+// network in ~30 lines of API.
+//
+//   $ ./quickstart
+//
+// Builds a 5,000-host P2P-style overlay, issues a count query with the
+// WILDFIRE protocol while 500 hosts churn away mid-query, and prints the
+// answer next to the ORACLE validity interval and the run's costs.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "topology/generators.h"
+
+int main() {
+  using namespace validity;
+
+  // 1. A network: 5,000 hosts, Gnutella-like heavy-tailed overlay.
+  auto graph = topology::MakeGnutellaLike(5000, /*seed=*/7);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "topology: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A workload: each host holds a Zipf [10, 500] attribute value.
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(5000, /*seed=*/8));
+
+  // 3. A query: approximate count (Flajolet-Martin, c = 16 repetitions).
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+
+  // 4. Dynamism: 500 hosts (10%) leave at a uniform rate during the query.
+  core::RunConfig config;
+  config.protocol = protocols::ProtocolKind::kWildfire;
+  config.churn_removals = 500;
+  config.churn_seed = 9;
+
+  auto result = engine.Run(spec, config, /*hq=*/0);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("count estimate        : %.0f\n", result->value);
+  std::printf("oracle validity bounds: [%.0f, %.0f]  (|HC|=%llu, |HU|=%llu)\n",
+              result->validity.q_low, result->validity.q_high,
+              static_cast<unsigned long long>(result->validity.hc_size),
+              static_cast<unsigned long long>(result->validity.hu_size));
+  std::printf("single-site valid     : %s (within sketch slack: %s)\n",
+              result->validity.within ? "yes" : "no",
+              result->validity.within_slack ? "yes" : "no");
+  std::printf("communication cost    : %llu messages (%llu bytes)\n",
+              static_cast<unsigned long long>(result->cost.messages),
+              static_cast<unsigned long long>(result->cost.bytes));
+  std::printf("computation cost      : %llu messages at the busiest host\n",
+              static_cast<unsigned long long>(result->cost.max_processed));
+  std::printf("time cost             : declared at t = %.0f (D-hat = %.0f)\n",
+              result->cost.declared_at, result->d_hat_used);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Sensor-network scenario: a 60 x 60 grid of battery-powered motes with a
+// wireless broadcast radio, queried for min / max / sum temperature while
+// motes die mid-query.
+//
+// Shows: the wireless medium accounting (one transmission reaches all 8
+// neighbors), the price of validity per aggregate (min is nearly free —
+// early aggregation suppresses hopeless values; count/sum pay the sketch
+// flood), and the best-effort tree's failure mode on deep grid trees.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "topology/generators.h"
+
+namespace {
+
+struct RunRow {
+  const char* label;
+  double value;
+  double low;
+  double high;
+  unsigned long long messages;
+};
+
+}  // namespace
+
+int main() {
+  using namespace validity;
+
+  constexpr uint32_t kSide = 60;
+  auto grid = topology::MakeGrid(kSide);
+  if (!grid.ok()) return 1;
+  const uint32_t n = grid->num_hosts();
+
+  // "Temperature" readings: Zipf-distributed in [10, 500] (tenths of a
+  // degree above a baseline, say).
+  core::QueryEngine engine(&*grid, core::MakeZipfValues(n, /*seed=*/21));
+
+  std::printf("sensor field: %u x %u = %u motes, wireless medium\n", kSide,
+              kSide, n);
+  std::printf("mid-query failures: %u motes\n\n", n / 10);
+
+  auto run = [&](AggregateKind agg, protocols::ProtocolKind proto) {
+    core::QuerySpec spec;
+    spec.aggregate = agg;
+    spec.fm_vectors = 16;
+    core::RunConfig config;
+    config.protocol = proto;
+    config.sim_options.medium = sim::MediumKind::kWireless;
+    config.churn_removals = n / 10;
+    config.churn_seed = 22;
+    auto result = engine.Run(spec, config, /*hq=*/0);
+    VALIDITY_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+    return *std::move(result);
+  };
+
+  std::printf("%-28s %10s %22s %12s\n", "query", "answer", "oracle bounds",
+              "radio msgs");
+  for (AggregateKind agg : {AggregateKind::kMin, AggregateKind::kMax,
+                            AggregateKind::kSum, AggregateKind::kCount}) {
+    auto wf = run(agg, protocols::ProtocolKind::kWildfire);
+    std::printf("wildfire %-19s %10.0f [%8.0f, %8.0f] %12llu\n",
+                AggregateKindName(agg), wf.value, wf.validity.q_low,
+                wf.validity.q_high,
+                static_cast<unsigned long long>(wf.cost.messages));
+  }
+  auto tree = run(AggregateKind::kCount, protocols::ProtocolKind::kSpanningTree);
+  std::printf("spanning-tree count          %10.0f [%8.0f, %8.0f] %12llu\n",
+              tree.value, tree.validity.q_low, tree.validity.q_high,
+              static_cast<unsigned long long>(tree.cost.messages));
+  std::printf(
+      "\nnote how the best-effort tree undercounts (%0.0f << %0.0f = |HC|)\n"
+      "while wildfire min/max answers sit exactly inside their validity\n"
+      "interval and count/sum land within Flajolet-Martin sketch error of\n"
+      "it; and how wildfire-min costs barely more radio traffic than the\n"
+      "tree (early aggregation, paper Fig. 11).\n",
+      tree.value, tree.validity.q_low);
+  return 0;
+}

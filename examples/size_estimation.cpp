@@ -1,0 +1,66 @@
+// Network-size tracking (§5.4): "how many peers are online right now?"
+// answered continuously and cheaply, two ways:
+//
+//   1. Capture-recapture (Jolly-Seber): the monitoring peer keeps a set of
+//      marked hosts and estimates |H| = |M|*|N|/recaptures per interval.
+//   2. DHT-ring segments: on ring-structured overlays, s sampled hosts'
+//      segment lengths give the estimate s / X_s.
+//
+// A full WILDFIRE count costs O(|E|) messages; these cost O(samples).
+
+#include <cmath>
+#include <cstdio>
+
+#include "protocols/capture_recapture.h"
+#include "protocols/ring_estimator.h"
+#include "sim/churn.h"
+#include "topology/generators.h"
+
+int main() {
+  using namespace validity;
+  using namespace validity::protocols;
+
+  constexpr uint32_t kHosts = 8000;
+  auto overlay = topology::MakeRandom(kHosts, 6.0, /*seed=*/41);
+  if (!overlay.ok()) return 1;
+
+  sim::Simulator simulator(*overlay, sim::SimOptions{});
+  // Flash crowd in reverse: 55% of the network leaves over the run.
+  Rng churn_rng(42);
+  sim::ScheduleChurn(&simulator,
+                     sim::MakeUniformChurn(kHosts, 0, kHosts * 55 / 100, 0.0,
+                                           120.0, &churn_rng));
+
+  CaptureRecaptureOptions options;
+  options.sample_size = 500;
+  options.interval = 12.0;
+  options.num_intervals = 10;
+  options.sampler = SamplerKind::kRandomWalk;  // the §5.4 black box
+  CaptureRecaptureEstimator capture(&simulator, options, /*seed=*/43);
+  if (!capture.Start(/*hq=*/0).ok()) return 1;
+
+  RingSizeEstimator ring(&simulator, /*ring_seed=*/44);
+  Rng ring_rng(45);
+
+  std::printf("tracking a shrinking overlay (%u -> %u hosts)\n\n", kHosts,
+              kHosts - kHosts * 55 / 100);
+  std::printf("%6s %12s %18s %14s\n", "time", "true alive",
+              "capture-recapture", "ring s/Xs");
+
+  // Interleave: pump the simulation to each sampling instant, read both
+  // estimators.
+  for (uint32_t k = 1; k <= options.num_intervals; ++k) {
+    double t = k * options.interval;
+    simulator.RunUntil(t + 0.5);
+    auto ring_estimate = ring.EstimateSize(250, &ring_rng);
+    const auto& estimates = capture.estimates();
+    double cr = estimates.empty() ? std::nan("") : estimates.back().estimate;
+    std::printf("%6.0f %12u %18.0f %14.0f\n", t, simulator.alive_count(), cr,
+                ring_estimate.ok() ? *ring_estimate : std::nan(""));
+  }
+  std::printf(
+      "\nboth estimators track the decline at a tiny fraction of the cost\n"
+      "of a full valid count; their guarantees are the Approximate\n"
+      "Single-Site Validity of paper §4.3/§5.4.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "common/aggregate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace validity {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAverage:
+      return "avg";
+  }
+  return "?";
+}
+
+double ExactAggregate(AggregateKind kind, const std::vector<double>& values,
+                      const std::vector<HostId>& members) {
+  if (members.empty()) return 0.0;
+  switch (kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(members.size());
+    case AggregateKind::kMin: {
+      double best = values[members[0]];
+      for (HostId h : members) best = std::min(best, values[h]);
+      return best;
+    }
+    case AggregateKind::kMax: {
+      double best = values[members[0]];
+      for (HostId h : members) best = std::max(best, values[h]);
+      return best;
+    }
+    case AggregateKind::kSum: {
+      double total = 0.0;
+      for (HostId h : members) total += values[h];
+      return total;
+    }
+    case AggregateKind::kAverage: {
+      double total = 0.0;
+      for (HostId h : members) total += values[h];
+      return total / static_cast<double>(members.size());
+    }
+  }
+  VALIDITY_CHECK(false, "unknown aggregate kind");
+  return 0.0;
+}
+
+bool IsDuplicateSensitive(AggregateKind kind) {
+  return kind == AggregateKind::kCount || kind == AggregateKind::kSum ||
+         kind == AggregateKind::kAverage;
+}
+
+}  // namespace validity

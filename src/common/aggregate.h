@@ -1,0 +1,34 @@
+// Aggregate query vocabulary shared by every layer.
+//
+// The paper's query class (§1, §5): minimum, maximum, count, sum, average.
+
+#ifndef VALIDITY_COMMON_AGGREGATE_H_
+#define VALIDITY_COMMON_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace validity {
+
+enum class AggregateKind : uint8_t { kMin, kMax, kCount, kSum, kAverage };
+
+/// Stable display name ("min", "max", "count", "sum", "avg").
+const char* AggregateKindName(AggregateKind kind);
+
+/// Exact value of the aggregate over the hosts listed in `members`, using
+/// `values[h]` as host h's attribute value. `count` ignores values. Returns
+/// 0 for an empty member set (avg of the empty set is defined as 0 here;
+/// callers that care distinguish the empty case themselves).
+double ExactAggregate(AggregateKind kind, const std::vector<double>& values,
+                      const std::vector<HostId>& members);
+
+/// True for aggregates where combining duplicate contributions changes the
+/// result (count/sum/avg); min/max are naturally duplicate-insensitive.
+bool IsDuplicateSensitive(AggregateKind kind);
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_AGGREGATE_H_

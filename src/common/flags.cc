@@ -1,0 +1,186 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace validity {
+
+namespace {
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "int";
+    case 1:
+      return "double";
+    case 2:
+      return "bool";
+    default:
+      return "string";
+  }
+}
+
+}  // namespace
+
+void FlagSet::DefineInt(const std::string& name, int64_t def,
+                        const std::string& help) {
+  auto [it, inserted] =
+      flags_.emplace(name, Flag{Kind::kInt, help, std::to_string(def)});
+  VALIDITY_CHECK(inserted, "duplicate flag --%s", name.c_str());
+  (void)it;
+}
+
+void FlagSet::DefineDouble(const std::string& name, double def,
+                           const std::string& help) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", def);
+  auto [it, inserted] = flags_.emplace(name, Flag{Kind::kDouble, help, buf});
+  VALIDITY_CHECK(inserted, "duplicate flag --%s", name.c_str());
+  (void)it;
+}
+
+void FlagSet::DefineBool(const std::string& name, bool def,
+                         const std::string& help) {
+  auto [it, inserted] =
+      flags_.emplace(name, Flag{Kind::kBool, help, def ? "true" : "false"});
+  VALIDITY_CHECK(inserted, "duplicate flag --%s", name.c_str());
+  (void)it;
+}
+
+void FlagSet::DefineString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  auto [it, inserted] = flags_.emplace(name, Flag{Kind::kString, help, def});
+  VALIDITY_CHECK(inserted, "duplicate flag --%s", name.c_str());
+  (void)it;
+}
+
+Status FlagSet::SetFromText(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                       text + "'");
+      }
+      flag.value = std::to_string(v);
+      return Status::Ok();
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                       text + "'");
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      flag.value = buf;
+      return Status::Ok();
+    }
+    case Kind::kBool: {
+      if (text == "true" || text == "1" || text.empty()) {
+        flag.value = "true";
+      } else if (text == "false" || text == "0") {
+        flag.value = "false";
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       " expects true/false, got '" + text +
+                                       "'");
+      }
+      return Status::Ok();
+    }
+    case Kind::kString:
+      flag.value = text;
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return Status::Unavailable("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg +
+                                     "'");
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string text;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      text = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      bool is_bool = it != flags_.end() && it->second.kind == Kind::kBool;
+      if (!is_bool) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " missing a value");
+        }
+        text = argv[++i];
+      }
+    }
+    VALIDITY_RETURN_IF_ERROR(SetFromText(name, text));
+  }
+  return Status::Ok();
+}
+
+const FlagSet::Flag& FlagSet::Lookup(const std::string& name,
+                                     Kind kind) const {
+  auto it = flags_.find(name);
+  VALIDITY_CHECK(it != flags_.end(), "flag --%s was never defined",
+                 name.c_str());
+  VALIDITY_CHECK(it->second.kind == kind, "flag --%s read with wrong type %s",
+                 name.c_str(), KindName(static_cast<int>(kind)));
+  return it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return std::strtoll(Lookup(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::strtod(Lookup(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Lookup(name, Kind::kBool).value == "true";
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Lookup(name, Kind::kString).value;
+}
+
+void FlagSet::PrintHelp(const std::string& program) const {
+  std::printf("usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-24s %s (%s, default: %s)\n", name.c_str(),
+                flag.help.c_str(), KindName(static_cast<int>(flag.kind)),
+                flag.value.c_str());
+  }
+}
+
+void ParseFlagsOrDie(FlagSet* flags, int argc, char** argv) {
+  Status st = flags->Parse(argc, argv);
+  if (st.ok()) return;
+  if (st.code() == StatusCode::kUnavailable) std::exit(0);  // --help
+  std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::exit(2);
+}
+
+}  // namespace validity

@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Flags take the form --name=value (or --name value). Unknown flags are an
+// error; --help prints registered flags with defaults and exits.
+
+#ifndef VALIDITY_COMMON_FLAGS_H_
+#define VALIDITY_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace validity {
+
+class FlagSet {
+ public:
+  /// Registers a flag with its default value and help text. Registering the
+  /// same name twice is a programming error.
+  void DefineInt(const std::string& name, int64_t def, const std::string& help);
+  void DefineDouble(const std::string& name, double def,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool def, const std::string& help);
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+
+  /// Parses argv. On "--help", prints usage to stdout and returns a status
+  /// with code kUnavailable so the caller can exit(0).
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  void PrintHelp(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  Status SetFromText(const std::string& name, const std::string& text);
+  const Flag& Lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+/// Parses flags and exits the process on error or --help. Convenience used
+/// by every bench/example main().
+void ParseFlagsOrDie(FlagSet* flags, int argc, char** argv);
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_FLAGS_H_

@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace validity {
+
+void Histogram::Add(int64_t value, int64_t weight) {
+  VALIDITY_DCHECK(weight >= 0);
+  if (weight == 0) return;
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+int64_t Histogram::CountAt(int64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int64_t Histogram::MaxValue() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& [value, count] : counts_) {
+    weighted += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+std::vector<std::pair<int64_t, int64_t>> Histogram::Items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<std::pair<int64_t, int64_t>> Histogram::Log2Buckets() const {
+  // bucket index 0 holds value 0; bucket i>=1 holds values [2^(i-1), 2^i).
+  std::vector<int64_t> buckets;
+  for (const auto& [value, count] : counts_) {
+    VALIDITY_DCHECK(value >= 0, "Log2Buckets requires non-negative values");
+    size_t idx =
+        value == 0
+            ? 0
+            : 1 + static_cast<size_t>(
+                      std::bit_width(static_cast<uint64_t>(value)) - 1);
+    if (buckets.size() <= idx) buckets.resize(idx + 1, 0);
+    buckets[idx] += count;
+  }
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    int64_t lower = i == 0 ? 0 : (int64_t{1} << (i - 1));
+    out.emplace_back(lower, buckets[i]);
+  }
+  return out;
+}
+
+}  // namespace validity

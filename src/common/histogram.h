@@ -1,0 +1,49 @@
+// Exact integer histogram (value -> count).
+//
+// Used for the computation-cost distributions of Fig. 12: "number of hosts
+// (Y) for each value of per-host computation cost (X)".
+
+#ifndef VALIDITY_COMMON_HISTOGRAM_H_
+#define VALIDITY_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace validity {
+
+class Histogram {
+ public:
+  /// Adds one observation of `value` (weight 1 by default).
+  void Add(int64_t value, int64_t weight = 1);
+
+  /// Total number of observations.
+  int64_t total() const { return total_; }
+
+  /// Count recorded for `value` (0 if never seen).
+  int64_t CountAt(int64_t value) const;
+
+  /// Largest observed value with non-zero count; 0 if empty.
+  int64_t MaxValue() const;
+
+  /// Mean of the observations.
+  double Mean() const;
+
+  /// Sorted (value, count) pairs.
+  std::vector<std::pair<int64_t, int64_t>> Items() const;
+
+  /// Collapses observations into power-of-two buckets
+  /// ([1], [2,3], [4,7], ...); bucket i covers [2^i, 2^(i+1)).
+  /// Value 0 lands in a dedicated leading bucket.
+  std::vector<std::pair<int64_t, int64_t>> Log2Buckets() const;
+
+  bool empty() const { return total_ == 0; }
+
+ private:
+  std::map<int64_t, int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_HISTOGRAM_H_

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (topology construction, attribute
+// values, churn schedules, sketch coin flips, sampling) flows through Rng
+// instances that are explicitly seeded and explicitly threaded through the
+// code. Two runs with equal seeds produce bit-identical results, which the
+// simulator relies on for replayable experiments.
+//
+// The engine is xoshiro256**, seeded via splitmix64 (the construction
+// recommended by the xoshiro authors).
+
+#ifndef VALIDITY_COMMON_RNG_H_
+#define VALIDITY_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace validity {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Stateless 64-bit mix of a value (finalizer of splitmix64). Useful as a
+/// deterministic hash for sketch mapping functions.
+uint64_t Mix64(uint64_t x);
+
+/// Deterministic xoshiro256** random generator.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be handed to
+/// <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed. Any seed (including 0) is
+  /// valid; the internal state is expanded with splitmix64.
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64 bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n), n > 0. Unbiased (Lemire rejection).
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Number of fair-coin tails before the first head: P(k) = 2^-(k+1).
+  ///
+  /// This is the Flajolet–Martin bit index distribution (paper §5.2: half
+  /// the hosts draw 0, a quarter 1, an eighth 2, ...). Bounded by 63.
+  int GeometricBitIndex();
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// of the same parent deterministically.
+  Rng Fork(uint64_t stream);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// k distinct values drawn uniformly from [0, n). Requires k <= n.
+  /// Deterministic given the generator state; O(n) when k is a large
+  /// fraction of n, O(k) expected otherwise.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_RNG_H_

@@ -1,0 +1,57 @@
+// Streaming statistics and confidence intervals for experiment reporting.
+
+#ifndef VALIDITY_COMMON_STATS_H_
+#define VALIDITY_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace validity {
+
+/// Welford-style streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the 95% normal-approximation confidence interval
+  /// (1.96 * s / sqrt(n)); 0 for fewer than two samples. The paper plots
+  /// "average answers over 10 trials with a 95% confidence interval" —
+  /// this is the matching interval.
+  double ci95_half_width() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean and 95% CI of a sample, for table rows.
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  size_t n = 0;
+};
+
+/// Computes mean and 95% CI of `xs`.
+MeanCi Summarize(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation over a copy of
+/// `xs`. Returns 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_STATS_H_

@@ -1,0 +1,144 @@
+// Status and StatusOr: lightweight error propagation for fallible public APIs.
+//
+// The library does not throw exceptions on its hot paths; operations that can
+// fail for reasons a caller should handle (bad configuration, missing host,
+// disconnected topology, ...) return Status / StatusOr<T>. Programming errors
+// are caught by VALIDITY_CHECK (see logging.h) instead.
+
+#ifndef VALIDITY_COMMON_STATUS_H_
+#define VALIDITY_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace validity {
+
+/// Canonical error space, modeled on the small subset of codes this library
+/// actually needs.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnavailable = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable, human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the success case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr is a fatal programming error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    VALIDITY_CHECK(!std::get<Status>(rep_).ok(),
+                   "StatusOr may not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error (Ok if a value is held).
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    VALIDITY_CHECK(ok(), "value() called on error StatusOr: %s",
+                   std::get<Status>(rep_).ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    VALIDITY_CHECK(ok(), "value() called on error StatusOr: %s",
+                   std::get<Status>(rep_).ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    VALIDITY_CHECK(ok(), "value() called on error StatusOr: %s",
+                   std::get<Status>(rep_).ToString().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define VALIDITY_RETURN_IF_ERROR(expr)               \
+  do {                                               \
+    ::validity::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_STATUS_H_

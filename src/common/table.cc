@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace validity {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  if (std::isnan(value)) return "nan";
+  // Integral values up to 2^53 print without a decimal point for readability.
+  if (std::fabs(value) < 9.0e15 && value == std::floor(value) &&
+      std::fabs(value) >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  }
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VALIDITY_CHECK(!header_.empty());
+}
+
+TablePrinter& TablePrinter::NewRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const std::string& value) {
+  VALIDITY_CHECK(!rows_.empty(), "Cell() before NewRow()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(const char* value) {
+  return Cell(std::string(value));
+}
+TablePrinter& TablePrinter::Cell(int64_t value) {
+  return Cell(std::to_string(value));
+}
+TablePrinter& TablePrinter::Cell(uint64_t value) {
+  return Cell(std::to_string(value));
+}
+TablePrinter& TablePrinter::Cell(int value) {
+  return Cell(std::to_string(value));
+}
+TablePrinter& TablePrinter::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell;
+      if (c + 1 < widths.size()) {
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace validity

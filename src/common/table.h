@@ -1,0 +1,51 @@
+// Aligned table and CSV emission for bench harnesses.
+//
+// Every bench binary prints (a) a human-readable aligned table mirroring the
+// corresponding paper figure and (b) machine-readable CSV for replotting.
+
+#ifndef VALIDITY_COMMON_TABLE_H_
+#define VALIDITY_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace validity {
+
+/// Collects rows of stringified cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Starts a new row.
+  TablePrinter& NewRow();
+
+  /// Appends one cell to the current row.
+  TablePrinter& Cell(const std::string& value);
+  TablePrinter& Cell(const char* value);
+  TablePrinter& Cell(int64_t value);
+  TablePrinter& Cell(uint64_t value);
+  TablePrinter& Cell(int value);
+  /// Doubles are rendered with `precision` significant decimal digits.
+  TablePrinter& Cell(double value, int precision = 3);
+
+  /// Prints the aligned table (header, rule, rows).
+  void Print(std::ostream& os) const;
+
+  /// Prints the same content as CSV (comma-separated, one header line).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_TABLE_H_

@@ -1,0 +1,23 @@
+// Shared vocabulary types.
+
+#ifndef VALIDITY_COMMON_TYPES_H_
+#define VALIDITY_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace validity {
+
+/// Dense host identifier: hosts of an n-host network are numbered [0, n).
+using HostId = uint32_t;
+
+/// Sentinel for "no host".
+inline constexpr HostId kInvalidHost = std::numeric_limits<HostId>::max();
+
+/// Simulated time. The universal per-hop message delay delta (paper §3.1)
+/// defaults to 1.0, so times are usually small integers ("ticks").
+using SimTime = double;
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_TYPES_H_

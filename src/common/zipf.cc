@@ -1,0 +1,56 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace validity {
+
+StatusOr<ZipfGenerator> ZipfGenerator::Make(int64_t low, int64_t high,
+                                            double theta) {
+  if (low > high) {
+    return Status::InvalidArgument("zipf range is empty (low > high)");
+  }
+  if (theta < 0.0 || !std::isfinite(theta)) {
+    return Status::InvalidArgument("zipf exponent must be finite and >= 0");
+  }
+  size_t n = static_cast<size_t>(high - low + 1);
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf.back() = 1.0;  // defend against rounding at the top end
+  return ZipfGenerator(low, high, theta, std::move(cdf));
+}
+
+ZipfGenerator::ZipfGenerator(int64_t low, int64_t high, double theta,
+                             std::vector<double> cdf)
+    : low_(low), high_(high), theta_(theta), cdf_(std::move(cdf)) {}
+
+int64_t ZipfGenerator::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return low_ + static_cast<int64_t>(it - cdf_.begin());
+}
+
+std::vector<int64_t> ZipfGenerator::SampleMany(Rng* rng, size_t n) const {
+  std::vector<int64_t> out(n);
+  for (auto& v : out) v = Sample(rng);
+  return out;
+}
+
+double ZipfGenerator::Mean() const {
+  double mean = 0.0;
+  double prev = 0.0;
+  for (size_t i = 0; i < cdf_.size(); ++i) {
+    double p = cdf_[i] - prev;
+    prev = cdf_[i];
+    mean += p * static_cast<double>(low_ + static_cast<int64_t>(i));
+  }
+  return mean;
+}
+
+}  // namespace validity

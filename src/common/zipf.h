@@ -1,0 +1,53 @@
+// Zipfian value generator for host attribute values.
+//
+// The paper's workload (§6.1): "Each host possesses an attribute value that
+// is drawn from a Zipfian distribution in the range [10, 500]". Rank r
+// (1-based, mapped onto the integer range low..high) is drawn with
+// probability proportional to 1 / r^theta.
+
+#ifndef VALIDITY_COMMON_ZIPF_H_
+#define VALIDITY_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace validity {
+
+/// Samples integers in [low(), high()] with Zipfian rank probabilities.
+/// Sampling is O(log n) via binary search over the precomputed CDF; the
+/// support of the paper's workload (491 values) makes the table trivial.
+class ZipfGenerator {
+ public:
+  /// Creates a generator over the inclusive integer range [low, high] with
+  /// exponent `theta` >= 0 (theta == 0 degenerates to uniform).
+  static StatusOr<ZipfGenerator> Make(int64_t low, int64_t high, double theta);
+
+  /// Draws one value.
+  int64_t Sample(Rng* rng) const;
+
+  /// Fills `n` values.
+  std::vector<int64_t> SampleMany(Rng* rng, size_t n) const;
+
+  int64_t low() const { return low_; }
+  int64_t high() const { return high_; }
+  double theta() const { return theta_; }
+
+  /// Expected value of the distribution (exact, from the probability table).
+  double Mean() const;
+
+ private:
+  ZipfGenerator(int64_t low, int64_t high, double theta,
+                std::vector<double> cdf);
+
+  int64_t low_;
+  int64_t high_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= low_ + i)
+};
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_ZIPF_H_

@@ -1,0 +1,139 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/zipf.h"
+#include "sim/churn.h"
+#include "topology/algorithms.h"
+
+namespace validity::core {
+
+QueryEngine::QueryEngine(const topology::Graph* graph,
+                         std::vector<double> values)
+    : graph_(graph), values_(std::move(values)) {
+  VALIDITY_CHECK(graph_ != nullptr);
+  VALIDITY_CHECK(values_.size() >= graph_->num_hosts(),
+                 "need one value per host (%zu < %u)", values_.size(),
+                 graph_->num_hosts());
+}
+
+uint32_t QueryEngine::EstimatedDiameter() const {
+  if (!diameter_known_) {
+    Rng rng(0xd1a4e7e5u);
+    cached_diameter_ = topology::EstimateDiameter(*graph_, /*sweeps=*/4, &rng);
+    diameter_known_ = true;
+  }
+  return cached_diameter_;
+}
+
+StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
+                                       const RunConfig& config,
+                                       HostId hq) const {
+  if (hq >= graph_->num_hosts()) {
+    return Status::OutOfRange("querying host out of range");
+  }
+  if (spec.fm_vectors == 0) {
+    return Status::InvalidArgument("fm_vectors must be >= 1");
+  }
+  if (config.churn_removals >= graph_->num_hosts()) {
+    return Status::InvalidArgument("cannot remove every host");
+  }
+  if (config.protocol == protocols::ProtocolKind::kRandomizedReport &&
+      spec.aggregate != AggregateKind::kCount &&
+      spec.aggregate != AggregateKind::kSum) {
+    return Status::InvalidArgument(
+        "randomized-report answers count/sum queries only");
+  }
+
+  double d_hat = spec.d_hat;
+  if (d_hat <= 0.0) {
+    d_hat = static_cast<double>(EstimatedDiameter()) + kDefaultDiameterMargin;
+  }
+
+  sim::SimOptions sim_options = config.sim_options;
+  // The tree/DAG baselines track child liveness through heartbeats.
+  if (config.protocol == protocols::ProtocolKind::kSpanningTree ||
+      config.protocol == protocols::ProtocolKind::kDag) {
+    sim_options.failure_detection = true;
+  }
+  sim::Simulator simulator(*graph_, sim_options);
+
+  SimTime horizon = 2.0 * d_hat * sim_options.delta;
+  if (config.churn_removals > 0) {
+    Rng churn_rng(config.churn_seed);
+    auto events = sim::MakeUniformChurn(
+        graph_->num_hosts(), hq, config.churn_removals,
+        config.churn_start_frac * horizon, config.churn_end_frac * horizon,
+        &churn_rng);
+    sim::ScheduleChurn(&simulator, events);
+  }
+
+  protocols::QueryContext ctx;
+  ctx.aggregate = spec.aggregate;
+  ctx.combiner =
+      protocols::CombinerFor(spec.aggregate, spec.exact_combiners);
+  ctx.fm.num_vectors = spec.fm_vectors;
+  ctx.d_hat = d_hat;
+  ctx.sketch_seed = config.sketch_seed;
+  ctx.values = &values_;
+
+  protocols::RandomizedReportOptions randomized = config.protocol_options.randomized;
+  if (config.protocol == protocols::ProtocolKind::kRandomizedReport &&
+      randomized.p_override == 0.0 && randomized.n_estimate <= 1.0) {
+    randomized.n_estimate = static_cast<double>(graph_->num_hosts());
+  }
+  protocols::ProtocolOptions protocol_options = config.protocol_options;
+  protocol_options.randomized = randomized;
+
+  std::unique_ptr<protocols::ProtocolBase> protocol = protocols::MakeProtocol(
+      config.protocol, &simulator, ctx, protocol_options);
+  simulator.AttachProgram(protocol.get());
+  protocol->Start(hq);
+  simulator.Run();
+
+  QueryResult result;
+  result.value = protocol->result().value;
+  result.declared = protocol->result().declared;
+  result.d_hat_used = d_hat;
+
+  const sim::Metrics& metrics = simulator.metrics();
+  result.cost.messages = metrics.messages_sent();
+  result.cost.bytes = metrics.bytes_sent();
+  result.cost.max_processed = metrics.MaxProcessed();
+  result.cost.declared_at = protocol->result().declared_at;
+  result.cost.last_update_at = protocol->result().last_update_at;
+  result.cost.sends_per_tick = metrics.SendsPerTick();
+  result.cost.computation_histogram = metrics.ComputationCostDistribution();
+
+  protocols::OracleReport oracle = protocols::ComputeOracle(
+      simulator, hq, /*t_begin=*/0.0, /*t_end=*/horizon, spec.aggregate,
+      values_);
+  result.validity.q_low = oracle.q_low;
+  result.validity.q_high = oracle.q_high;
+  result.validity.hc_size = oracle.hc.size();
+  result.validity.hu_size = oracle.hu.size();
+  result.validity.within = result.declared && oracle.Contains(result.value);
+  result.validity.within_slack =
+      result.declared && oracle.ContainsWithin(result.value,
+                                               kApproxSlackFactor);
+
+  std::vector<HostId> everyone(graph_->num_hosts());
+  for (HostId h = 0; h < graph_->num_hosts(); ++h) everyone[h] = h;
+  result.exact_full = ExactAggregate(spec.aggregate, values_, everyone);
+  return result;
+}
+
+std::vector<double> MakeZipfValues(uint32_t num_hosts, uint64_t seed,
+                                   int64_t low, int64_t high, double theta) {
+  auto zipf = ZipfGenerator::Make(low, high, theta);
+  VALIDITY_CHECK(zipf.ok(), "bad zipf parameters");
+  Rng rng(seed);
+  std::vector<double> values(num_hosts);
+  for (double& v : values) {
+    v = static_cast<double>(zipf->Sample(&rng));
+  }
+  return values;
+}
+
+}  // namespace validity::core

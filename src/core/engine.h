@@ -1,0 +1,107 @@
+// QueryEngine: the library's main entry point.
+//
+// Owns a topology and per-host attribute values, runs one-shot aggregate
+// queries under configurable protocols/churn, and returns the declared value
+// together with the paper's three cost measures (§6.3) and the ORACLE
+// validity interval (§6.2).
+//
+//   topology::Graph g = *topology::MakeRandom(10'000, 5.0, seed);
+//   core::QueryEngine engine(&g, core::MakeZipfValues(10'000, seed));
+//   auto result = engine.Run(spec, run_config, /*hq=*/0);
+//   // result->value, result->cost.messages, result->validity.within ...
+
+#ifndef VALIDITY_CORE_ENGINE_H_
+#define VALIDITY_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "protocols/oracle.h"
+#include "topology/graph.h"
+
+namespace validity::core {
+
+/// Paper §6.3 cost measures for one run.
+struct CostReport {
+  /// Communication cost: messages sent (wireless transmissions count once).
+  uint64_t messages = 0;
+  /// Total bytes across those messages.
+  uint64_t bytes = 0;
+  /// Computation cost: max messages processed by any single host.
+  uint64_t max_processed = 0;
+  /// Time cost: when hq declared the result.
+  SimTime declared_at = 0;
+  /// End of the last causal message chain that changed hq's answer (the
+  /// §6.3 chain-length time metric; < declared_at for protocols that sit
+  /// out a declaration timer, like slotted SPANNINGTREE or WILDFIRE with an
+  /// overestimated D-hat).
+  SimTime last_update_at = 0;
+  /// Messages sent during tick [i, i+1) (Fig. 13(b) series).
+  std::vector<uint64_t> sends_per_tick;
+  /// processed-message count -> number of hosts (Fig. 12 distribution).
+  Histogram computation_histogram;
+};
+
+/// The result against the ORACLE's Single-Site Validity interval.
+struct ValidityReport {
+  double q_low = 0.0;
+  double q_high = 0.0;
+  uint64_t hc_size = 0;
+  uint64_t hu_size = 0;
+  /// v in [q_low, q_high] exactly.
+  bool within = false;
+  /// v in the interval up to the multiplicative sketch slack
+  /// (kApproxSlackFactor); meaningful for FM-based answers.
+  bool within_slack = false;
+};
+
+struct QueryResult {
+  double value = 0.0;
+  bool declared = false;
+  CostReport cost;
+  ValidityReport validity;
+  /// The exact aggregate over all initially-alive hosts (ground truth for
+  /// relative-error reporting).
+  double exact_full = 0.0;
+  /// D-hat actually used (useful when QuerySpec.d_hat was 0 = auto).
+  double d_hat_used = 0.0;
+};
+
+/// Multiplicative slack granted to approximate answers in
+/// ValidityReport.within_slack.
+inline constexpr double kApproxSlackFactor = 2.0;
+
+class QueryEngine {
+ public:
+  /// `graph` must outlive the engine. `values[h]` is host h's attribute
+  /// value (see MakeZipfValues for the paper's workload).
+  QueryEngine(const topology::Graph* graph, std::vector<double> values);
+
+  /// Executes one query. Deterministic in (spec, config, hq).
+  StatusOr<QueryResult> Run(const QuerySpec& spec, const RunConfig& config,
+                            HostId hq) const;
+
+  /// Estimated diameter of the topology (cached; double-sweep heuristic).
+  uint32_t EstimatedDiameter() const;
+
+  const std::vector<double>& values() const { return values_; }
+  const topology::Graph& graph() const { return *graph_; }
+
+ private:
+  const topology::Graph* graph_;
+  std::vector<double> values_;
+  mutable uint32_t cached_diameter_ = 0;
+  mutable bool diameter_known_ = false;
+};
+
+/// The paper's workload (§6.1): Zipfian attribute values in [10, 500].
+std::vector<double> MakeZipfValues(uint32_t num_hosts, uint64_t seed,
+                                   int64_t low = 10, int64_t high = 500,
+                                   double theta = 1.0);
+
+}  // namespace validity::core
+
+#endif  // VALIDITY_CORE_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "core/experiment.h"
+
+#include "common/rng.h"
+
+namespace validity::core {
+
+std::vector<ProtocolSpec> StandardLineup() {
+  std::vector<ProtocolSpec> lineup;
+  lineup.push_back({"spanning-tree", protocols::ProtocolKind::kSpanningTree,
+                    protocols::ProtocolOptions{}});
+  protocols::ProtocolOptions dag2;
+  dag2.dag.max_parents = 2;
+  lineup.push_back({"dag-k2", protocols::ProtocolKind::kDag, dag2});
+  protocols::ProtocolOptions dag3;
+  dag3.dag.max_parents = 3;
+  lineup.push_back({"dag-k3", protocols::ProtocolKind::kDag, dag3});
+  lineup.push_back({"wildfire", protocols::ProtocolKind::kWildfire,
+                    protocols::ProtocolOptions{}});
+  return lineup;
+}
+
+std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
+                                     const QuerySpec& spec, HostId hq,
+                                     const std::vector<ProtocolSpec>& lineup,
+                                     const std::vector<uint32_t>& removals,
+                                     const ChurnSweepOptions& options) {
+  std::vector<SweepCell> cells;
+  cells.reserve(removals.size() * lineup.size());
+  for (uint32_t r : removals) {
+    std::vector<RunningStat> value(lineup.size());
+    std::vector<RunningStat> messages(lineup.size());
+    std::vector<RunningStat> time_cost(lineup.size());
+    std::vector<RunningStat> max_processed(lineup.size());
+    std::vector<uint64_t> within(lineup.size(), 0);
+    std::vector<uint64_t> within_slack(lineup.size(), 0);
+    RunningStat oracle_low;
+    RunningStat oracle_high;
+
+    for (uint32_t t = 0; t < options.trials; ++t) {
+      // One churn schedule per (level, trial), shared by every protocol.
+      uint64_t churn_seed =
+          Mix64(options.base_seed ^ (uint64_t{r} << 32) ^ (t + 1));
+      uint64_t sketch_seed = Mix64(churn_seed + 0x5851f42d4c957f2dULL);
+      bool oracle_recorded = false;
+      for (size_t p = 0; p < lineup.size(); ++p) {
+        RunConfig config;
+        config.protocol = lineup[p].kind;
+        config.protocol_options = lineup[p].options;
+        config.sim_options = options.sim_options;
+        config.churn_removals = r;
+        config.churn_seed = churn_seed;
+        config.sketch_seed = sketch_seed;
+        StatusOr<QueryResult> run = engine.Run(spec, config, hq);
+        VALIDITY_CHECK(run.ok(), "sweep run failed: %s",
+                       run.status().ToString().c_str());
+        value[p].Add(run->value);
+        messages[p].Add(static_cast<double>(run->cost.messages));
+        time_cost[p].Add(run->cost.declared_at);
+        max_processed[p].Add(static_cast<double>(run->cost.max_processed));
+        if (run->validity.within) ++within[p];
+        if (run->validity.within_slack) ++within_slack[p];
+        if (!oracle_recorded) {
+          // Identical churn => identical oracle interval across protocols.
+          oracle_low.Add(run->validity.q_low);
+          oracle_high.Add(run->validity.q_high);
+          oracle_recorded = true;
+        }
+      }
+    }
+
+    for (size_t p = 0; p < lineup.size(); ++p) {
+      SweepCell cell;
+      cell.protocol = lineup[p].label;
+      cell.removals = r;
+      cell.value = MeanCi{value[p].mean(), value[p].ci95_half_width(),
+                          value[p].count()};
+      cell.messages = MeanCi{messages[p].mean(),
+                             messages[p].ci95_half_width(),
+                             messages[p].count()};
+      cell.time_cost = MeanCi{time_cost[p].mean(),
+                              time_cost[p].ci95_half_width(),
+                              time_cost[p].count()};
+      cell.max_processed = MeanCi{max_processed[p].mean(),
+                                  max_processed[p].ci95_half_width(),
+                                  max_processed[p].count()};
+      cell.oracle_low = MeanCi{oracle_low.mean(), oracle_low.ci95_half_width(),
+                               oracle_low.count()};
+      cell.oracle_high = MeanCi{oracle_high.mean(),
+                                oracle_high.ci95_half_width(),
+                                oracle_high.count()};
+      cell.within_fraction = static_cast<double>(within[p]) /
+                             static_cast<double>(options.trials);
+      cell.within_slack_fraction = static_cast<double>(within_slack[p]) /
+                                   static_cast<double>(options.trials);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace validity::core

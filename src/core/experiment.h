@@ -1,0 +1,59 @@
+// Experiment helpers shared by the bench harnesses: named protocol specs,
+// multi-trial churn sweeps with shared churn schedules, and summary rows.
+
+#ifndef VALIDITY_CORE_EXPERIMENT_H_
+#define VALIDITY_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/engine.h"
+
+namespace validity::core {
+
+/// A labeled protocol configuration (e.g. "dag-k2" vs "dag-k3").
+struct ProtocolSpec {
+  std::string label;
+  protocols::ProtocolKind kind;
+  protocols::ProtocolOptions options;
+};
+
+/// The paper's Figs. 7-9 line-up: SPANNINGTREE, DAG(k=2), DAG(k=3),
+/// WILDFIRE.
+std::vector<ProtocolSpec> StandardLineup();
+
+/// Aggregated measurements for one (protocol, churn level) cell.
+struct SweepCell {
+  std::string protocol;
+  uint32_t removals = 0;
+  MeanCi value;
+  MeanCi messages;
+  MeanCi time_cost;
+  MeanCi max_processed;
+  MeanCi oracle_low;
+  MeanCi oracle_high;
+  /// Fraction of trials whose answer fell inside the oracle interval.
+  double within_fraction = 0.0;
+  /// As above but with the approximate-answer slack.
+  double within_slack_fraction = 0.0;
+};
+
+struct ChurnSweepOptions {
+  uint32_t trials = 10;       // paper: averages of 10 trials with 95% CI
+  uint64_t base_seed = 42;    // trial t uses churn seed f(base_seed, t)
+  sim::SimOptions sim_options;
+};
+
+/// Runs every protocol at every churn level. Within one (level, trial) pair
+/// all protocols face the *same* departure schedule, as a fair comparison
+/// requires. Returns cells in (removals-major, protocol-minor) order.
+std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
+                                     const QuerySpec& spec, HostId hq,
+                                     const std::vector<ProtocolSpec>& lineup,
+                                     const std::vector<uint32_t>& removals,
+                                     const ChurnSweepOptions& options);
+
+}  // namespace validity::core
+
+#endif  // VALIDITY_CORE_EXPERIMENT_H_

@@ -1,0 +1,105 @@
+#include "protocols/all_report.h"
+
+namespace validity::protocols {
+
+AllReportProtocol::AllReportProtocol(sim::Simulator* sim, QueryContext ctx,
+                                     AllReportOptions options)
+    : ProtocolBase(sim, std::move(ctx)), options_(options) {}
+
+void AllReportProtocol::Activate(HostId self, HostId parent, int32_t depth) {
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  st.active = true;
+  st.parent = parent;
+  st.depth = depth;
+
+  // Fig. 2: forward the query, report own value, terminate.
+  auto flood = std::make_shared<FloodBody>();
+  flood->hop = depth;
+  sim::Message out;
+  out.kind = MakeKind(kBroadcast);
+  out.body = flood;
+  sim_->SendToNeighbors(self, out);
+
+  auto report = std::make_shared<ValueReportBody>();
+  report->origin = self;
+  report->value = HostValue(self);
+  if (self == hq_) {
+    collected_.AddHost(report->value);
+    ++reports_collected_;
+  } else {
+    SendReport(self, report);
+  }
+}
+
+void AllReportProtocol::SendReport(
+    HostId self, std::shared_ptr<const ValueReportBody> body) {
+  sim::Message msg;
+  msg.kind = MakeKind(kReport);
+  msg.body = std::move(body);
+  if (options_.routing == ReportRouting::kDirect) {
+    sim_->SendDirect(self, hq_, msg);
+    return;
+  }
+  RelayTowardRoot(self, msg);
+}
+
+void AllReportProtocol::RelayTowardRoot(HostId self, const sim::Message& msg) {
+  const HostState& st = states_[self];
+  // Prefer the broadcast parent; if it is known dead, fall back to any alive
+  // neighbor (the relay still only moves along overlay edges).
+  HostId next = st.parent;
+  if (next == kInvalidHost || !sim_->IsAlive(next)) {
+    next = kInvalidHost;
+    sim_->ForEachAliveNeighbor(self, [&](HostId nb) {
+      if (next == kInvalidHost) next = nb;
+    });
+  }
+  if (next == kInvalidHost) return;  // isolated: report is lost
+  sim_->SendTo(self, next, msg);
+}
+
+void AllReportProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  states_.assign(sim_->num_hosts(), HostState{});
+  collected_ = ScalarPartial{};
+  reports_collected_ = 0;
+  Activate(hq, kInvalidHost, 0);
+  ScheduleProtocolTimer(hq, Horizon(), [this] {
+    result_.value = collected_.Extract(ctx_.aggregate);
+    result_.declared_at = sim_->Now();
+    result_.declared = true;
+  });
+}
+
+void AllReportProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+
+  if (local == kBroadcast) {
+    if (st.active) return;
+    if (sim_->Now() >= Horizon()) return;
+    const auto& body = static_cast<const FloodBody&>(*msg.body);
+    Activate(self, msg.src, body.hop + 1);
+    return;
+  }
+
+  if (local == kReport) {
+    if (sim_->Now() > Horizon()) return;  // late reports are discarded
+    const auto& body = static_cast<const ValueReportBody&>(*msg.body);
+    if (self == hq_) {
+      collected_.AddHost(body.value);
+      ++reports_collected_;
+      return;
+    }
+    // Relay duty (reverse-path routing only).
+    if (!st.active) return;  // cannot route without a parent pointer
+    RelayTowardRoot(self, msg);
+  }
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,80 @@
+// ALLREPORT (paper Fig. 2, Theorem 4.3): the naive Single-Site-Valid
+// algorithm. The query floods the network; every host that receives it
+// reports its attribute value to hq; hq aggregates the collected set M at
+// time T = 2 * D-hat * delta.
+//
+// Two report-routing models are provided:
+//  - kDirect: the reporting host opens a direct underlay connection to hq
+//    (P2P model — hq's address rides in the query). One message per report;
+//    satisfies Single-Site Validity exactly as in the Theorem 4.3 proof.
+//  - kReversePath: the report is relayed hop-by-hop toward hq along
+//    broadcast parent pointers (sensor-network "Direct Delivery" of Yao &
+//    Gehrke). Costs one message per hop; a relay failure can drop reports
+//    of stable hosts, so validity is only guaranteed in the direct model —
+//    the relaying variant re-routes around parents it knows are dead but
+//    remains best-effort under extreme churn. Tests pin down both.
+
+#ifndef VALIDITY_PROTOCOLS_ALL_REPORT_H_
+#define VALIDITY_PROTOCOLS_ALL_REPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "protocols/scalar_partial.h"
+
+namespace validity::protocols {
+
+enum class ReportRouting { kDirect, kReversePath };
+
+struct AllReportOptions {
+  ReportRouting routing = ReportRouting::kDirect;
+};
+
+class AllReportProtocol : public ProtocolBase {
+ public:
+  AllReportProtocol(sim::Simulator* sim, QueryContext ctx,
+                    AllReportOptions options = {});
+
+  void Start(HostId hq) override;
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  std::string_view name() const override { return "all-report"; }
+
+  /// Number of hosts whose values reached hq (|M|, including hq itself).
+  uint64_t reports_collected() const { return reports_collected_; }
+
+ private:
+  enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2 };
+
+  struct FloodBody : sim::MessageBody {
+    int32_t hop = 0;
+    size_t SizeBytes() const override { return sizeof(int32_t); }
+  };
+
+  struct ValueReportBody : sim::MessageBody {
+    HostId origin = kInvalidHost;
+    double value = 0.0;
+    size_t SizeBytes() const override {
+      return sizeof(HostId) + sizeof(double);
+    }
+  };
+
+  struct HostState {
+    bool active = false;
+    int32_t depth = 0;
+    HostId parent = kInvalidHost;
+  };
+
+  void Activate(HostId self, HostId parent, int32_t depth);
+  void SendReport(HostId self, std::shared_ptr<const ValueReportBody> body);
+  void RelayTowardRoot(HostId self, const sim::Message& msg);
+
+  AllReportOptions options_;
+  std::vector<HostState> states_;
+  ScalarPartial collected_;
+  uint64_t reports_collected_ = 0;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_ALL_REPORT_H_

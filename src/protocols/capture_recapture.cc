@@ -1,0 +1,117 @@
+#include "protocols/capture_recapture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace validity::protocols {
+
+CaptureRecaptureEstimator::CaptureRecaptureEstimator(
+    sim::Simulator* sim, CaptureRecaptureOptions options, uint64_t seed)
+    : sim_(sim), options_(options), rng_(seed) {
+  VALIDITY_CHECK(sim_ != nullptr);
+}
+
+Status CaptureRecaptureEstimator::Start(HostId hq) {
+  if (options_.sample_size == 0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  if (options_.interval <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (!sim_->IsAlive(hq)) {
+    return Status::FailedPrecondition("querying host must be alive");
+  }
+  hq_ = hq;
+  SimTime t0 = sim_->Now();
+  for (uint32_t k = 0; k < options_.num_intervals; ++k) {
+    sim_->ScheduleAt(t0 + static_cast<double>(k + 1) * options_.interval,
+                     [this] { TakeSample(); });
+  }
+  return Status::Ok();
+}
+
+HostId CaptureRecaptureEstimator::RandomWalkEndpoint() {
+  uint32_t steps = options_.walk_length;
+  if (steps == 0) {
+    double n = std::max(2.0, static_cast<double>(sim_->alive_count()));
+    steps = 2 * static_cast<uint32_t>(std::ceil(std::log2(n)));
+  }
+  HostId where = hq_;
+  for (uint32_t s = 0; s < steps; ++s) {
+    // Uniform step over alive neighbors (reservoir pick avoids building a
+    // temporary neighbor list).
+    HostId next = kInvalidHost;
+    uint32_t seen = 0;
+    sim_->ForEachAliveNeighbor(where, [&](HostId nb) {
+      ++seen;
+      if (rng_.NextBelow(seen) == 0) next = nb;
+    });
+    if (next == kInvalidHost) break;  // isolated: stay put
+    where = next;
+  }
+  return where;
+}
+
+std::vector<HostId> CaptureRecaptureEstimator::SampleAlive(uint32_t want) {
+  std::vector<HostId> sample;
+  sample.reserve(want);
+  if (options_.sampler == SamplerKind::kUniform) {
+    std::vector<HostId> alive;
+    alive.reserve(sim_->alive_count());
+    for (HostId h = 0; h < sim_->num_hosts(); ++h) {
+      if (sim_->IsAlive(h)) alive.push_back(h);
+    }
+    if (alive.empty()) return sample;
+    for (uint32_t i = 0; i < want; ++i) {
+      sample.push_back(alive[rng_.NextBelow(alive.size())]);
+    }
+    return sample;
+  }
+  for (uint32_t i = 0; i < want; ++i) {
+    sample.push_back(RandomWalkEndpoint());
+  }
+  return sample;
+}
+
+void CaptureRecaptureEstimator::TakeSample() {
+  if (!sim_->IsAlive(hq_)) return;
+  ++intervals_done_;
+
+  // M_t = alive(M_{t-1} union N_{t-1}), trimmed to the cap.
+  for (HostId h : previous_sample_) marked_.insert(h);
+  for (auto it = marked_.begin(); it != marked_.end();) {
+    it = sim_->IsAlive(*it) ? std::next(it) : marked_.erase(it);
+  }
+  if (options_.max_marked > 0) {
+    while (marked_.size() > options_.max_marked) {
+      marked_.erase(marked_.begin());
+    }
+  }
+
+  // N_t: fresh sample (with replacement, as the scheme assumes independent
+  // draws).
+  std::vector<HostId> sample = SampleAlive(options_.sample_size);
+
+  if (intervals_done_ >= 2) {
+    uint32_t recaptured = 0;
+    for (HostId h : sample) {
+      if (marked_.count(h) > 0) ++recaptured;
+    }
+    SizeEstimate est;
+    est.time = sim_->Now();
+    est.marked = static_cast<uint32_t>(marked_.size());
+    est.sampled = static_cast<uint32_t>(sample.size());
+    est.recaptured = recaptured;
+    est.true_alive = sim_->alive_count();
+    est.estimate =
+        recaptured == 0
+            ? std::numeric_limits<double>::quiet_NaN()
+            : static_cast<double>(est.marked) * static_cast<double>(est.sampled) /
+                  static_cast<double>(recaptured);
+    estimates_.push_back(est);
+  }
+  previous_sample_ = std::move(sample);
+}
+
+}  // namespace validity::protocols

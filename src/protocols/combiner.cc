@@ -1,0 +1,221 @@
+#include "protocols/combiner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace validity::protocols {
+
+const char* CombinerKindName(CombinerKind kind) {
+  switch (kind) {
+    case CombinerKind::kMin:
+      return "min";
+    case CombinerKind::kMax:
+      return "max";
+    case CombinerKind::kFmCount:
+      return "fm-count";
+    case CombinerKind::kFmSum:
+      return "fm-sum";
+    case CombinerKind::kFmAverage:
+      return "fm-avg";
+    case CombinerKind::kUnionCount:
+      return "union-count";
+    case CombinerKind::kUnionSum:
+      return "union-sum";
+    case CombinerKind::kUnionAverage:
+      return "union-avg";
+  }
+  return "?";
+}
+
+CombinerKind CombinerFor(AggregateKind kind, bool exact) {
+  switch (kind) {
+    case AggregateKind::kMin:
+      return CombinerKind::kMin;
+    case AggregateKind::kMax:
+      return CombinerKind::kMax;
+    case AggregateKind::kCount:
+      return exact ? CombinerKind::kUnionCount : CombinerKind::kFmCount;
+    case AggregateKind::kSum:
+      return exact ? CombinerKind::kUnionSum : CombinerKind::kFmSum;
+    case AggregateKind::kAverage:
+      return exact ? CombinerKind::kUnionAverage : CombinerKind::kFmAverage;
+  }
+  VALIDITY_CHECK(false, "unknown aggregate kind");
+  return CombinerKind::kMin;
+}
+
+PartialAggregate PartialAggregate::Initial(CombinerKind kind, HostId self,
+                                           double value,
+                                           const sketch::FmParams& params,
+                                           Rng* rng) {
+  PartialAggregate a(kind);
+  switch (kind) {
+    case CombinerKind::kMin:
+    case CombinerKind::kMax:
+      a.scalar_ = value;
+      return a;
+    case CombinerKind::kFmCount:
+      a.primary_ = sketch::FmSketch::ForDistinctElement(params, rng);
+      return a;
+    case CombinerKind::kFmSum: {
+      VALIDITY_CHECK(value >= 0 && value == std::floor(value),
+                     "fm-sum requires non-negative integer values, got %f",
+                     value);
+      a.primary_ = sketch::FmSketch::ForMagnitude(
+          params, static_cast<uint64_t>(value), rng);
+      return a;
+    }
+    case CombinerKind::kFmAverage: {
+      VALIDITY_CHECK(value >= 0 && value == std::floor(value),
+                     "fm-avg requires non-negative integer values, got %f",
+                     value);
+      a.primary_ = sketch::FmSketch::ForMagnitude(
+          params, static_cast<uint64_t>(value), rng);
+      a.secondary_ = sketch::FmSketch::ForDistinctElement(params, rng);
+      return a;
+    }
+    case CombinerKind::kUnionCount:
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage:
+      a.items_.emplace(self, value);
+      return a;
+  }
+  VALIDITY_CHECK(false, "unknown combiner kind");
+  return a;
+}
+
+PartialAggregate PartialAggregate::Identity(CombinerKind kind,
+                                            const sketch::FmParams& params) {
+  PartialAggregate a(kind);
+  switch (kind) {
+    case CombinerKind::kMin:
+      a.scalar_ = std::numeric_limits<double>::infinity();
+      return a;
+    case CombinerKind::kMax:
+      a.scalar_ = -std::numeric_limits<double>::infinity();
+      return a;
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum:
+      a.primary_ = sketch::FmSketch(params);
+      return a;
+    case CombinerKind::kFmAverage:
+      a.primary_ = sketch::FmSketch(params);
+      a.secondary_ = sketch::FmSketch(params);
+      return a;
+    case CombinerKind::kUnionCount:
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage:
+      return a;
+  }
+  VALIDITY_CHECK(false, "unknown combiner kind");
+  return a;
+}
+
+bool PartialAggregate::CombineFrom(const PartialAggregate& other) {
+  VALIDITY_CHECK(kind_ == other.kind_, "combining %s with %s",
+                 CombinerKindName(kind_), CombinerKindName(other.kind_));
+  switch (kind_) {
+    case CombinerKind::kMin:
+      if (other.scalar_ < scalar_) {
+        scalar_ = other.scalar_;
+        return true;
+      }
+      return false;
+    case CombinerKind::kMax:
+      if (other.scalar_ > scalar_) {
+        scalar_ = other.scalar_;
+        return true;
+      }
+      return false;
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum:
+      return primary_.MergeOr(other.primary_);
+    case CombinerKind::kFmAverage: {
+      bool changed = primary_.MergeOr(other.primary_);
+      changed |= secondary_.MergeOr(other.secondary_);
+      return changed;
+    }
+    case CombinerKind::kUnionCount:
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage: {
+      bool changed = false;
+      for (const auto& [id, value] : other.items_) {
+        changed |= items_.emplace(id, value).second;
+      }
+      return changed;
+    }
+  }
+  VALIDITY_CHECK(false, "unknown combiner kind");
+  return false;
+}
+
+bool PartialAggregate::SameAs(const PartialAggregate& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case CombinerKind::kMin:
+    case CombinerKind::kMax:
+      return scalar_ == other.scalar_;
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum:
+      return primary_ == other.primary_;
+    case CombinerKind::kFmAverage:
+      return primary_ == other.primary_ && secondary_ == other.secondary_;
+    case CombinerKind::kUnionCount:
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage:
+      return items_ == other.items_;
+  }
+  return false;
+}
+
+double PartialAggregate::Estimate() const {
+  switch (kind_) {
+    case CombinerKind::kMin:
+    case CombinerKind::kMax:
+      return scalar_;
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum:
+      return primary_.IsEmpty() ? 0.0 : primary_.Estimate();
+    case CombinerKind::kFmAverage: {
+      if (secondary_.IsEmpty()) return 0.0;
+      return primary_.Estimate() / secondary_.Estimate();
+    }
+    case CombinerKind::kUnionCount:
+      return static_cast<double>(items_.size());
+    case CombinerKind::kUnionSum: {
+      double total = 0.0;
+      for (const auto& [id, value] : items_) total += value;
+      return total;
+    }
+    case CombinerKind::kUnionAverage: {
+      if (items_.empty()) return 0.0;
+      double total = 0.0;
+      for (const auto& [id, value] : items_) total += value;
+      return total / static_cast<double>(items_.size());
+    }
+  }
+  VALIDITY_CHECK(false, "unknown combiner kind");
+  return 0.0;
+}
+
+size_t PartialAggregate::SizeBytes() const {
+  switch (kind_) {
+    case CombinerKind::kMin:
+    case CombinerKind::kMax:
+      return sizeof(double);
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum:
+      return primary_.SizeBytes();
+    case CombinerKind::kFmAverage:
+      return primary_.SizeBytes() + secondary_.SizeBytes();
+    case CombinerKind::kUnionCount:
+      return items_.size() * sizeof(HostId);
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage:
+      return items_.size() * (sizeof(HostId) + sizeof(double));
+  }
+  return 0;
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,96 @@
+// Partial aggregates and duplicate-insensitive combine functions (§5.1-§5.2).
+//
+// WILDFIRE floods partial aggregates along every path, so a host's value can
+// reach the querying host many times; the combine function must therefore be
+// duplicate-insensitive (idempotent, commutative, associative — a join
+// semilattice). The library ships three families:
+//
+//   scalar    min / max            — the query itself is the combine fn;
+//   FM sketch count / sum / avg    — Flajolet–Martin bit-vectors, OR-merge
+//                                    (the paper's §5.2 operators);
+//   id-union  count / sum / avg    — exact duplicate-insensitive combiners
+//                                    that carry explicit (host, value) sets.
+//                                    Message size is O(|H|) — impractical on
+//                                    a real network, but invaluable in tests
+//                                    and oracles because they isolate
+//                                    protocol behaviour from sketch error.
+
+#ifndef VALIDITY_PROTOCOLS_COMBINER_H_
+#define VALIDITY_PROTOCOLS_COMBINER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/aggregate.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sketch/fm_sketch.h"
+
+namespace validity::protocols {
+
+enum class CombinerKind : uint8_t {
+  kMin,
+  kMax,
+  kFmCount,
+  kFmSum,
+  kFmAverage,     // carries a sum sketch and a count sketch
+  kUnionCount,    // exact: set of host ids
+  kUnionSum,      // exact: host id -> value map
+  kUnionAverage,  // exact: host id -> value map
+};
+
+const char* CombinerKindName(CombinerKind kind);
+
+/// The duplicate-insensitive combiner matching an aggregate query.
+/// `exact` selects the id-union family instead of FM sketches.
+CombinerKind CombinerFor(AggregateKind kind, bool exact);
+
+/// A host's running partial aggregate A_h.
+///
+/// Value semantics; copying is cheap for scalar/FM kinds (FM payload is
+/// c 64-bit words). Equality is structural, which WILDFIRE uses for its
+/// "did my aggregate change / does my neighbor already know this" tests.
+class PartialAggregate {
+ public:
+  /// The initial A_h of host `self` holding attribute `value`. For FM kinds
+  /// the host's sketch bits are drawn from `rng` (each host derives its own
+  /// deterministic stream). `value` must be a non-negative integer for
+  /// kFmSum / kFmAverage (attribute values in the paper are integers in
+  /// [10, 500]).
+  static PartialAggregate Initial(CombinerKind kind, HostId self, double value,
+                                  const sketch::FmParams& params, Rng* rng);
+
+  /// An identity element (combining with it never changes the other side):
+  /// +inf for min, -inf for max, empty sketch/sets otherwise. Used by hosts
+  /// that participate in forwarding but contribute no value.
+  static PartialAggregate Identity(CombinerKind kind,
+                                   const sketch::FmParams& params);
+
+  CombinerKind kind() const { return kind_; }
+
+  /// A_h := Combine(A_h, other). Returns true iff A_h changed.
+  bool CombineFrom(const PartialAggregate& other);
+
+  /// Structural equality (same information content).
+  bool SameAs(const PartialAggregate& other) const;
+
+  /// Final answer extraction at the querying host.
+  double Estimate() const;
+
+  /// Approximate wire size of the payload.
+  size_t SizeBytes() const;
+
+ private:
+  explicit PartialAggregate(CombinerKind kind) : kind_(kind) {}
+
+  CombinerKind kind_;
+  double scalar_ = 0.0;                 // min / max
+  sketch::FmSketch primary_;            // count or sum sketch
+  sketch::FmSketch secondary_;          // count sketch for kFmAverage
+  std::map<HostId, double> items_;      // union kinds
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_COMBINER_H_

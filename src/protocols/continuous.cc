@@ -1,0 +1,57 @@
+#include "protocols/continuous.h"
+
+namespace validity::protocols {
+
+ContinuousWildfire::ContinuousWildfire(sim::Simulator* sim, QueryContext ctx,
+                                       ContinuousOptions options,
+                                       WildfireOptions wildfire_options)
+    : sim_(sim),
+      ctx_(std::move(ctx)),
+      options_(options),
+      wildfire_options_(wildfire_options) {
+  VALIDITY_CHECK(sim_ != nullptr);
+}
+
+Status ContinuousWildfire::Start(HostId hq) {
+  double round_span = 2.0 * ctx_.d_hat * sim_->options().delta;
+  if (options_.window < round_span) {
+    return Status::InvalidArgument(
+        "continuous window shorter than one WILDFIRE round (need W >= "
+        "2*d_hat*delta)");
+  }
+  if (options_.num_windows == 0) {
+    return Status::InvalidArgument("need at least one window");
+  }
+  hq_ = hq;
+  results_.assign(options_.num_windows, WindowResult{});
+  rounds_.resize(options_.num_windows);
+  SimTime t0 = sim_->Now();
+  for (uint32_t w = 0; w < options_.num_windows; ++w) {
+    sim_->ScheduleAt(t0 + static_cast<double>(w) * options_.window,
+                     [this, w] { LaunchRound(w); });
+  }
+  return Status::Ok();
+}
+
+void ContinuousWildfire::LaunchRound(uint32_t w) {
+  if (!sim_->IsAlive(hq_)) return;  // the registering host left
+  QueryContext round_ctx = ctx_;
+  // Fresh sketch bits per round: repeated FM draws must be independent.
+  round_ctx.sketch_seed = Mix64(ctx_.sketch_seed + 0x1000003 * (w + 1));
+  rounds_[w] = std::make_unique<WildfireProtocol>(sim_, round_ctx,
+                                                  wildfire_options_);
+  WildfireProtocol* round = rounds_[w].get();
+  sim_->AttachProgram(round);
+  results_[w].issued_at = sim_->Now();
+  round->Start(hq_);
+  // Harvest the declared value just after the round horizon.
+  sim_->ScheduleAt(round->Horizon() + 0.25 * sim_->options().delta,
+                   [this, w, round] {
+                     const ProtocolRunResult& r = round->result();
+                     results_[w].value = r.value;
+                     results_[w].declared_at = r.declared_at;
+                     results_[w].declared = r.declared;
+                   });
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,73 @@
+// Continuous Single-Site Validity (paper §4.2).
+//
+// A continuous query registered at hq for [0, T_total] must return, at each
+// report instant t, a value v_t = q(H) with HC <= H <= HU *defined over the
+// recent window [t - W, t]* — the naive whole-history HC degenerates to the
+// empty set under churn. No algorithm exists for W < D * delta, so the
+// executor validates W >= 2 * D-hat * delta and evaluates one WILDFIRE
+// round per window: the round issued at t - W declares at
+// t = (t - W) + 2 * D-hat * delta <= window end, and its one-time validity
+// interval [t - W, t'] nests inside the window, so windowed Continuous SSV
+// follows from Theorem 5.1 round by round.
+//
+// Instances are swapped on the shared simulator; stale in-flight messages
+// from a previous round are rejected by the per-instance kind tag.
+
+#ifndef VALIDITY_PROTOCOLS_CONTINUOUS_H_
+#define VALIDITY_PROTOCOLS_CONTINUOUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/wildfire.h"
+
+namespace validity::protocols {
+
+struct ContinuousOptions {
+  /// Window length W; must be >= 2 * d_hat * delta.
+  SimTime window = 0;
+  /// Number of windows to evaluate.
+  uint32_t num_windows = 1;
+};
+
+struct WindowResult {
+  SimTime issued_at = 0;
+  SimTime declared_at = 0;
+  double value = 0;
+  bool declared = false;
+};
+
+class ContinuousWildfire {
+ public:
+  /// `ctx.sketch_seed` seeds window 0; each window derives a fresh stream.
+  ContinuousWildfire(sim::Simulator* sim, QueryContext ctx,
+                     ContinuousOptions options,
+                     WildfireOptions wildfire_options = {});
+
+  /// Registers the continuous query at `hq` at the current time; rounds are
+  /// scheduled every `window`. Run the simulator afterwards.
+  Status Start(HostId hq);
+
+  /// Per-window declared values (populated as the simulation runs).
+  const std::vector<WindowResult>& results() const { return results_; }
+
+  /// The protocol instance of window `w` (for oracle interval computation).
+  const WildfireProtocol& RoundProtocol(uint32_t w) const {
+    return *rounds_[w];
+  }
+
+ private:
+  void LaunchRound(uint32_t w);
+
+  sim::Simulator* sim_;
+  QueryContext ctx_;
+  ContinuousOptions options_;
+  WildfireOptions wildfire_options_;
+  HostId hq_ = kInvalidHost;
+  std::vector<std::unique_ptr<WildfireProtocol>> rounds_;
+  std::vector<WindowResult> results_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_CONTINUOUS_H_

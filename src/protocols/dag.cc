@@ -1,0 +1,195 @@
+#include "protocols/dag.h"
+
+#include <algorithm>
+
+namespace validity::protocols {
+
+DagProtocol::DagProtocol(sim::Simulator* sim, QueryContext ctx,
+                         DagOptions options)
+    : ProtocolBase(sim, std::move(ctx)), options_(options) {
+  VALIDITY_CHECK(options_.max_parents >= 1, "DAG needs k >= 1");
+}
+
+const std::vector<HostId>& DagProtocol::ParentsOf(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return empty_;
+  return states_[h].parents;
+}
+
+int32_t DagProtocol::DepthOf(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return -1;
+  return states_[h].depth;
+}
+
+SimTime DagProtocol::SlotTime(int32_t depth, SimTime activation_time) const {
+  SimTime delta = sim_->options().delta;
+  SimTime slot = start_time_ +
+                 (2.0 * ctx_.d_hat - static_cast<double>(depth) - 0.5) * delta;
+  return std::max(slot, activation_time + 0.5 * delta);
+}
+
+void DagProtocol::Activate(HostId self, HostId first_parent, int32_t depth) {
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  st.active = true;
+  st.depth = depth;
+  if (first_parent != kInvalidHost) st.parents.push_back(first_parent);
+  st.agg = InitialAggregate(self);
+
+  // Forward the query; the forward registers this host with its first
+  // parent (additional parents get explicit registrations in kEager).
+  auto body = std::make_shared<DagBroadcastBody>();
+  body->hop = depth;
+  body->first_parent =
+      options_.pacing == TreePacing::kEager ? first_parent : kInvalidHost;
+  sim::Message out;
+  out.kind = MakeKind(kBroadcast);
+  out.body = body;
+  sim_->SendToNeighbors(self, out);
+
+  SimTime delta = sim_->options().delta;
+  if (options_.pacing == TreePacing::kEager) {
+    ScheduleProtocolTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
+                          [this, self] {
+                            states_[self].children_known = true;
+                            MaybeCompleteEager(self);
+                          });
+  }
+  SimTime slot = SlotTime(depth, sim_->Now());
+  ScheduleProtocolTimer(self, slot, [this, self] {
+    sim_->ScheduleAt(sim_->Now(), [this, self] {
+      if (sim_->IsAlive(self)) SendUp(self);
+    });
+  });
+}
+
+void DagProtocol::AdoptExtraParent(HostId self, HostId parent) {
+  HostState& st = states_[self];
+  st.parents.push_back(parent);
+  if (options_.pacing != TreePacing::kEager) return;
+  // Tell the extra parent it has a child to wait for.
+  auto body = std::make_shared<RegisterBody>();
+  body->to_parent = parent;
+  sim::Message out;
+  out.kind = MakeKind(kRegister);
+  out.body = body;
+  if (sim_->options().medium == sim::MediumKind::kWireless) {
+    sim_->SendToNeighbors(self, out);
+  } else {
+    sim_->SendTo(self, parent, out);
+  }
+}
+
+void DagProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  states_.assign(sim_->num_hosts(), HostState{});
+  Activate(hq, kInvalidHost, 0);
+  ScheduleProtocolTimer(hq, Horizon(), [this, hq] { Declare(hq); });
+}
+
+void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+
+  if (local == kBroadcast) {
+    const auto& body = static_cast<const DagBroadcastBody&>(*msg.body);
+    if (!st.active) {
+      if (sim_->Now() >= Horizon()) return;
+      Activate(self, msg.src, body.hop + 1);
+      return;
+    }
+    // Additional parent: a same-wave copy from one level up, adopted until
+    // k parents are held (copies from the previous wave all land at this
+    // same instant, before any report could have been sent).
+    if (!st.sent_up && body.hop == st.depth - 1 &&
+        st.parents.size() < options_.max_parents &&
+        std::find(st.parents.begin(), st.parents.end(), msg.src) ==
+            st.parents.end()) {
+      AdoptExtraParent(self, msg.src);
+    }
+    // Child registration with the first parent (kEager only; kSlotted
+    // forwards carry kInvalidHost here).
+    if (body.first_parent == self) st.pending_children.push_back(msg.src);
+    return;
+  }
+
+  if (local == kRegister) {
+    const auto& body = static_cast<const RegisterBody&>(*msg.body);
+    if (body.to_parent != self) return;
+    if (!st.active || st.sent_up) return;
+    st.pending_children.push_back(msg.src);
+    return;
+  }
+
+  if (local == kReport) {
+    const auto& body = static_cast<const DagReportBody&>(*msg.body);
+    if (std::find(body.to_parents.begin(), body.to_parents.end(), self) ==
+        body.to_parents.end()) {
+      return;  // overheard on the wireless medium / not an addressee
+    }
+    if (!st.active || st.sent_up) return;
+    st.agg->CombineFrom(body.agg);  // duplicate-insensitive merge
+    if (self == hq_) result_.last_update_at = sim_->Now();
+    auto it = std::find(st.pending_children.begin(), st.pending_children.end(),
+                        msg.src);
+    if (it != st.pending_children.end()) st.pending_children.erase(it);
+    if (options_.pacing == TreePacing::kEager) MaybeCompleteEager(self);
+  }
+}
+
+void DagProtocol::OnNeighborFailure(HostId self, HostId failed) {
+  if (options_.pacing != TreePacing::kEager) return;
+  if (self >= states_.size()) return;
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up) return;
+  auto it =
+      std::find(st.pending_children.begin(), st.pending_children.end(), failed);
+  if (it != st.pending_children.end()) {
+    st.pending_children.erase(it);
+    MaybeCompleteEager(self);
+  }
+}
+
+void DagProtocol::MaybeCompleteEager(HostId self) {
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up || !st.children_known) return;
+  if (!st.pending_children.empty()) return;
+  SendUp(self);
+}
+
+void DagProtocol::SendUp(HostId self) {
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up) return;
+  st.sent_up = true;
+  if (self == hq_) {
+    if (options_.pacing == TreePacing::kEager) Declare(self);
+    return;  // kSlotted: the root declares at the horizon
+  }
+  auto body = std::make_shared<DagReportBody>(*st.agg);
+  body->to_parents = st.parents;
+  sim::Message out;
+  out.kind = MakeKind(kReport);
+  out.body = body;
+  if (sim_->options().medium == sim::MediumKind::kWireless) {
+    // One transmission reaches every parent (paper §6.6: on Grid the DAG
+    // convergecast costs the same as the tree's, whatever k is).
+    sim_->SendToNeighbors(self, out);
+    return;
+  }
+  for (HostId p : st.parents) {
+    if (sim_->IsAlive(p)) sim_->SendTo(self, p, out);
+  }
+}
+
+void DagProtocol::Declare(HostId self) {
+  if (result_.declared) return;
+  HostState& st = states_[self];
+  result_.value = st.agg->Estimate();
+  result_.declared_at = sim_->Now();
+  result_.declared = true;
+}
+
+}  // namespace validity::protocols

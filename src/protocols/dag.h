@@ -1,0 +1,102 @@
+// DIRECTEDACYCLICGRAPH (paper §4.4): the multi-parent best-effort baseline.
+//
+// Broadcast organizes hosts into a level-DAG: a host at depth d adopts up to
+// k parents among its depth-(d-1) neighbors (all of whose query copies
+// arrive in the same wave instant). Convergecast propagates partial
+// aggregates to *all* adopted parents, so a single parent failure no longer
+// severs a subtree. Because a value can now reach hq along multiple routes,
+// the combine function must be duplicate-insensitive — the implementation
+// follows the paper (§6: "Our implementation of DIRECTEDACYCLICGRAPH uses
+// the distributed count and sum operators"), i.e. the same FM sketches that
+// WILDFIRE uses (or exact union combiners in tests).
+//
+// Pacing mirrors SpanningTreeProtocol: kSlotted (default, paper-faithful)
+// holds the partial aggregate until the depth slot; kEager (ablation)
+// registers children with every adopted parent (one extra tiny message per
+// additional parent) and reports as soon as all live children reported.
+
+#ifndef VALIDITY_PROTOCOLS_DAG_H_
+#define VALIDITY_PROTOCOLS_DAG_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "protocols/spanning_tree.h"  // TreePacing
+
+namespace validity::protocols {
+
+struct DagOptions {
+  /// Maximum number of parents per host (paper evaluates k = 2 and k = 3).
+  uint32_t max_parents = 2;
+  TreePacing pacing = TreePacing::kSlotted;
+};
+
+class DagProtocol : public ProtocolBase {
+ public:
+  DagProtocol(sim::Simulator* sim, QueryContext ctx, DagOptions options = {});
+
+  void Start(HostId hq) override;
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  void OnNeighborFailure(HostId self, HostId failed) override;
+  std::string_view name() const override { return "dag"; }
+
+  /// Parents adopted by `h` (empty if never activated).
+  const std::vector<HostId>& ParentsOf(HostId h) const;
+  int32_t DepthOf(HostId h) const;
+
+  /// kEager: children known this many delta after activation (forward out
+  /// +delta, registrations back +2*delta, +0.5 ordering margin).
+  static constexpr double kChildDiscoveryDelay = 2.5;
+
+ private:
+  enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2, kRegister = 3 };
+
+  struct DagBroadcastBody : sim::MessageBody {
+    int32_t hop = 0;                     // sender's depth
+    HostId first_parent = kInvalidHost;  // parent registered by the forward
+    size_t SizeBytes() const override {
+      return sizeof(int32_t) + sizeof(HostId);
+    }
+  };
+
+  struct RegisterBody : sim::MessageBody {
+    HostId to_parent = kInvalidHost;  // addressee (wireless filtering)
+    size_t SizeBytes() const override { return sizeof(HostId); }
+  };
+
+  struct DagReportBody : sim::MessageBody {
+    explicit DagReportBody(PartialAggregate a) : agg(std::move(a)) {}
+    PartialAggregate agg;
+    std::vector<HostId> to_parents;  // addressees (wireless filtering)
+    size_t SizeBytes() const override {
+      return agg.SizeBytes() + to_parents.size() * sizeof(HostId);
+    }
+  };
+
+  struct HostState {
+    bool active = false;
+    bool children_known = false;
+    bool sent_up = false;
+    int32_t depth = 0;
+    std::vector<HostId> parents;
+    std::vector<HostId> pending_children;
+    std::optional<PartialAggregate> agg;
+  };
+
+  SimTime SlotTime(int32_t depth, SimTime activation_time) const;
+  void Activate(HostId self, HostId first_parent, int32_t depth);
+  void AdoptExtraParent(HostId self, HostId parent);
+  void MaybeCompleteEager(HostId self);
+  void SendUp(HostId self);
+  void Declare(HostId self);
+
+  DagOptions options_;
+  std::vector<HostState> states_;
+  std::vector<HostId> empty_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_DAG_H_

@@ -1,0 +1,45 @@
+#include "protocols/factory.h"
+
+namespace validity::protocols {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kAllReport:
+      return "all-report";
+    case ProtocolKind::kRandomizedReport:
+      return "randomized-report";
+    case ProtocolKind::kSpanningTree:
+      return "spanning-tree";
+    case ProtocolKind::kDag:
+      return "dag";
+    case ProtocolKind::kWildfire:
+      return "wildfire";
+  }
+  return "?";
+}
+
+std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,
+                                           sim::Simulator* sim,
+                                           QueryContext ctx,
+                                           const ProtocolOptions& options) {
+  switch (kind) {
+    case ProtocolKind::kAllReport:
+      return std::make_unique<AllReportProtocol>(sim, std::move(ctx),
+                                                 options.all_report);
+    case ProtocolKind::kRandomizedReport:
+      return std::make_unique<RandomizedReportProtocol>(sim, std::move(ctx),
+                                                        options.randomized);
+    case ProtocolKind::kSpanningTree:
+      return std::make_unique<SpanningTreeProtocol>(sim, std::move(ctx),
+                                                    options.spanning_tree);
+    case ProtocolKind::kDag:
+      return std::make_unique<DagProtocol>(sim, std::move(ctx), options.dag);
+    case ProtocolKind::kWildfire:
+      return std::make_unique<WildfireProtocol>(sim, std::move(ctx),
+                                                options.wildfire);
+  }
+  VALIDITY_CHECK(false, "unknown protocol kind");
+  return nullptr;
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,43 @@
+// Protocol construction by kind, used by the QueryEngine and benches.
+
+#ifndef VALIDITY_PROTOCOLS_FACTORY_H_
+#define VALIDITY_PROTOCOLS_FACTORY_H_
+
+#include <memory>
+
+#include "protocols/all_report.h"
+#include "protocols/dag.h"
+#include "protocols/protocol.h"
+#include "protocols/randomized_report.h"
+#include "protocols/spanning_tree.h"
+#include "protocols/wildfire.h"
+
+namespace validity::protocols {
+
+enum class ProtocolKind : uint8_t {
+  kAllReport,
+  kRandomizedReport,
+  kSpanningTree,
+  kDag,
+  kWildfire,
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+/// Per-protocol tuning knobs, bundled so callers can sweep them uniformly.
+struct ProtocolOptions {
+  WildfireOptions wildfire;
+  SpanningTreeOptions spanning_tree;
+  DagOptions dag;
+  AllReportOptions all_report;
+  RandomizedReportOptions randomized;
+};
+
+std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,
+                                           sim::Simulator* sim,
+                                           QueryContext ctx,
+                                           const ProtocolOptions& options);
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_FACTORY_H_

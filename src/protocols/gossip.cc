@@ -1,0 +1,138 @@
+#include "protocols/gossip.h"
+
+#include <algorithm>
+
+namespace validity::protocols {
+
+GossipProtocol::GossipProtocol(sim::Simulator* sim, QueryContext ctx,
+                               GossipOptions options)
+    : ProtocolBase(sim, std::move(ctx)),
+      options_(options),
+      partner_rng_(Mix64(options.partner_seed)) {
+  VALIDITY_CHECK(options_.rounds >= 1, "gossip needs at least one round");
+}
+
+double GossipProtocol::LocalEstimate(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return 0.0;
+  const HostState& st = states_[h];
+  if (IsExtremum()) return st.scalar;
+  return st.weight > 0.0 ? st.value / st.weight : 0.0;
+}
+
+void GossipProtocol::Activate(HostId self, int32_t hop) {
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  st.active = true;
+  switch (ctx_.aggregate) {
+    case AggregateKind::kCount:
+      st.value = 1.0;
+      st.weight = self == hq_ ? 1.0 : 0.0;
+      break;
+    case AggregateKind::kSum:
+      st.value = HostValue(self);
+      st.weight = self == hq_ ? 1.0 : 0.0;
+      break;
+    case AggregateKind::kAverage:
+      st.value = HostValue(self);
+      st.weight = 1.0;
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      st.scalar = HostValue(self);
+      break;
+  }
+
+  // Forward the activation flood.
+  auto body = std::make_shared<PushBody>();
+  sim::Message out;
+  out.kind = MakeKind(kBroadcast);
+  out.body = body;
+  sim_->SendToNeighbors(self, out);
+
+  // One gossip exchange per round, offset off the delivery grid.
+  SimTime delta = sim_->options().delta;
+  SimTime first = sim_->Now() + 0.5 * delta;
+  for (uint32_t r = 0; r < options_.rounds; ++r) {
+    ScheduleProtocolTimer(self, first + r * delta,
+                          [this, self] { DoRound(self); });
+  }
+  (void)hop;
+}
+
+void GossipProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  states_.assign(sim_->num_hosts(), HostState{});
+  Activate(hq, 0);
+  SimTime delta = sim_->options().delta;
+  ScheduleProtocolTimer(
+      hq, start_time_ + (options_.rounds + 2) * delta, [this, hq] {
+        result_.value = LocalEstimate(hq);
+        result_.declared_at = sim_->Now();
+        result_.declared = true;
+      });
+}
+
+void GossipProtocol::DoRound(HostId self) {
+  HostState& st = states_[self];
+  if (!st.active) return;
+  // Uniform alive neighbor (reservoir pick).
+  HostId partner = kInvalidHost;
+  uint32_t seen = 0;
+  sim_->ForEachAliveNeighbor(self, [&](HostId nb) {
+    ++seen;
+    if (partner_rng_.NextBelow(seen) == 0) partner = nb;
+  });
+  if (partner == kInvalidHost) return;  // isolated this round
+
+  auto body = std::make_shared<PushBody>();
+  if (IsExtremum()) {
+    body->scalar = st.scalar;
+  } else {
+    // Push-sum: keep half the mass, push half.
+    st.value /= 2.0;
+    st.weight /= 2.0;
+    body->value = st.value;
+    body->weight = st.weight;
+  }
+  sim::Message out;
+  out.kind = MakeKind(kPush);
+  out.body = body;
+  sim_->SendTo(self, partner, out);
+}
+
+void GossipProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+
+  if (local == kBroadcast) {
+    if (st.active) return;
+    if (sim_->Now() >= Horizon()) return;
+    Activate(self, 0);
+    return;
+  }
+
+  if (local == kPush) {
+    if (!st.active) {
+      // Mass arriving at a host the flood has not reached yet would be
+      // destroyed; activate on first contact instead (gossip protocols
+      // spread the query epidemically too).
+      Activate(self, 0);
+    }
+    const auto& body = static_cast<const PushBody&>(*msg.body);
+    HostState& fresh = states_[self];
+    if (IsExtremum()) {
+      fresh.scalar = ctx_.aggregate == AggregateKind::kMin
+                         ? std::min(fresh.scalar, body.scalar)
+                         : std::max(fresh.scalar, body.scalar);
+    } else {
+      fresh.value += body.value;
+      fresh.weight += body.weight;
+    }
+  }
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,28 @@
+#include "protocols/protocol.h"
+
+namespace validity::protocols {
+
+namespace {
+// Instance ids are process-global so that two simulators in one test cannot
+// alias. Single-threaded by design (the simulator is not thread-safe).
+uint32_t g_next_instance_id = 1;
+}  // namespace
+
+ProtocolBase::ProtocolBase(sim::Simulator* sim, QueryContext ctx)
+    : sim_(sim), ctx_(std::move(ctx)), instance_id_(g_next_instance_id++) {
+  VALIDITY_CHECK(sim_ != nullptr);
+  VALIDITY_CHECK(ctx_.values != nullptr, "QueryContext.values is required");
+  VALIDITY_CHECK(ctx_.values->size() >= sim_->num_hosts(),
+                 "values must cover all %u hosts", sim_->num_hosts());
+  VALIDITY_CHECK(ctx_.d_hat >= 1.0, "d_hat must be >= 1 hop");
+  VALIDITY_CHECK(ctx_.fm.Validate().ok(), "bad FM params");
+}
+
+void ProtocolBase::ScheduleProtocolTimer(HostId host, SimTime t,
+                                         std::function<void()> fn) {
+  sim_->ScheduleAt(t, [this, host, f = std::move(fn)] {
+    if (sim_->IsAlive(host)) f();
+  });
+}
+
+}  // namespace validity::protocols

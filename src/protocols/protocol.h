@@ -1,0 +1,134 @@
+// Base plumbing shared by all aggregation protocols.
+//
+// A protocol is a sim::HostProgram plus Start(hq)/result(). Multiple
+// protocol instances can run over the lifetime of one simulator (the
+// continuous-query executor swaps instances per window); to keep stale
+// in-flight messages from a previous instance out of a new one, every
+// instance owns a unique id that is packed into the upper bits of
+// Message::kind and checked on receipt.
+
+#ifndef VALIDITY_PROTOCOLS_PROTOCOL_H_
+#define VALIDITY_PROTOCOLS_PROTOCOL_H_
+
+#include <cmath>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/aggregate.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "protocols/combiner.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "sketch/fm_sketch.h"
+
+namespace validity::protocols {
+
+/// Everything a protocol needs to know about the query it is executing.
+struct QueryContext {
+  AggregateKind aggregate = AggregateKind::kCount;
+  /// Combine function for duplicate-insensitive protocols (WILDFIRE, DAG).
+  CombinerKind combiner = CombinerKind::kFmCount;
+  /// Sketch shape for FM combiners.
+  sketch::FmParams fm;
+  /// Overestimate D-hat of the stable diameter, in hops. The protocol
+  /// horizon is 2 * d_hat * delta.
+  double d_hat = 10.0;
+  /// Seed from which per-host sketch bit streams are derived. Use a fresh
+  /// value per query so repeated queries draw independent sketches.
+  uint64_t sketch_seed = 1;
+  /// Per-host attribute values; must cover every host id in the simulator.
+  const std::vector<double>* values = nullptr;
+};
+
+/// Outcome of one protocol run.
+struct ProtocolRunResult {
+  double value = std::numeric_limits<double>::quiet_NaN();
+  /// Time cost: when the querying host declared the result.
+  SimTime declared_at = 0;
+  /// When the querying host's partial answer last changed — the end of the
+  /// longest causal message chain that influenced the result (the paper's
+  /// §6.3 time-cost metric for protocols that, like SPANNINGTREE, finish
+  /// their information flow before the declaration timer).
+  SimTime last_update_at = 0;
+  bool declared = false;
+};
+
+class ProtocolBase : public sim::HostProgram {
+ public:
+  ProtocolBase(sim::Simulator* sim, QueryContext ctx);
+  ~ProtocolBase() override = default;
+
+  ProtocolBase(const ProtocolBase&) = delete;
+  ProtocolBase& operator=(const ProtocolBase&) = delete;
+
+  /// Issues the query at `hq` at the simulator's current time. The caller
+  /// must have attached this instance (sim->AttachProgram(this)) and then
+  /// runs the simulator; afterwards the answer is in result().
+  virtual void Start(HostId hq) = 0;
+
+  const ProtocolRunResult& result() const { return result_; }
+  virtual std::string_view name() const = 0;
+
+  HostId querying_host() const { return hq_; }
+  SimTime start_time() const { return start_time_; }
+  /// The protocol horizon T = start + 2 * d_hat * delta.
+  SimTime Horizon() const {
+    return start_time_ + 2.0 * ctx_.d_hat * sim_->options().delta;
+  }
+
+ protected:
+  /// Packs a protocol-local message kind with this instance's id.
+  uint32_t MakeKind(uint32_t local) const {
+    return (instance_id_ << 8) | (local & 0xff);
+  }
+  /// Returns true and extracts the local kind if `kind` belongs to this
+  /// instance; stale messages from other instances return false.
+  bool DecodeKind(uint32_t kind, uint32_t* local) const {
+    if ((kind >> 8) != instance_id_) return false;
+    *local = kind & 0xff;
+    return true;
+  }
+
+  /// Instance-safe timer: runs `fn` at time t iff `host` is then alive.
+  /// (Bypasses HostProgram::OnTimer so timers never cross instances.)
+  void ScheduleProtocolTimer(HostId host, SimTime t, std::function<void()> fn);
+
+  double HostValue(HostId h) const {
+    VALIDITY_DCHECK(ctx_.values != nullptr && h < ctx_.values->size());
+    return (*ctx_.values)[h];
+  }
+
+  /// Deterministic per-host sketch stream for this query.
+  Rng HostSketchRng(HostId h) const {
+    return Rng(Mix64(ctx_.sketch_seed ^ (0x9e3779b97f4a7c15ULL +
+                                         static_cast<uint64_t>(h))));
+  }
+
+  /// The host's initial partial aggregate A_h.
+  PartialAggregate InitialAggregate(HostId h) const {
+    Rng rng = HostSketchRng(h);
+    return PartialAggregate::Initial(ctx_.combiner, h, HostValue(h), ctx_.fm,
+                                     &rng);
+  }
+
+  sim::Simulator* sim_;
+  QueryContext ctx_;
+  HostId hq_ = kInvalidHost;
+  SimTime start_time_ = 0;
+  ProtocolRunResult result_;
+  uint32_t instance_id_;
+};
+
+/// Message body carrying a partial aggregate (convergecast payload).
+struct AggregateBody : sim::MessageBody {
+  explicit AggregateBody(PartialAggregate a) : agg(std::move(a)) {}
+  size_t SizeBytes() const override { return agg.SizeBytes(); }
+
+  PartialAggregate agg;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_PROTOCOL_H_

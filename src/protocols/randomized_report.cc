@@ -1,0 +1,94 @@
+#include "protocols/randomized_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace validity::protocols {
+
+RandomizedReportProtocol::RandomizedReportProtocol(
+    sim::Simulator* sim, QueryContext ctx, RandomizedReportOptions options)
+    : ProtocolBase(sim, std::move(ctx)), options_(options) {
+  VALIDITY_CHECK(ctx_.aggregate == AggregateKind::kCount ||
+                     ctx_.aggregate == AggregateKind::kSum,
+                 "randomized report estimates count or sum only");
+  VALIDITY_CHECK(options_.epsilon > 0 && options_.epsilon < 1);
+  VALIDITY_CHECK(options_.zeta > 0 && options_.zeta < 1);
+  if (options_.p_override > 0.0) {
+    p_ = std::min(1.0, options_.p_override);
+  } else {
+    VALIDITY_CHECK(options_.n_estimate >= 1.0);
+    p_ = std::min(1.0, 4.0 /
+                           (options_.epsilon * options_.epsilon *
+                            options_.n_estimate) *
+                           std::log(2.0 / options_.zeta));
+  }
+}
+
+void RandomizedReportProtocol::Activate(HostId self, int32_t depth) {
+  if (self >= active_.size()) active_.resize(self + 1, 0);
+  active_[self] = 1;
+
+  auto flood = std::make_shared<FloodBody>();
+  flood->hop = depth;
+  flood->p = p_;
+  sim::Message out;
+  out.kind = MakeKind(kBroadcast);
+  out.body = flood;
+  sim_->SendToNeighbors(self, out);
+
+  // Flip the report coin (deterministic per host and query).
+  Rng coin(Mix64(options_.coin_seed ^
+                 (0xa0761d6478bd642fULL + static_cast<uint64_t>(self))));
+  if (!coin.Bernoulli(p_)) return;
+  if (self == hq_) {
+    ++reports_collected_;
+    sample_sum_ += HostValue(self);
+    return;
+  }
+  auto report = std::make_shared<SampleReportBody>();
+  report->value = HostValue(self);
+  sim::Message msg;
+  msg.kind = MakeKind(kReport);
+  msg.body = report;
+  sim_->SendDirect(self, hq_, msg);
+}
+
+void RandomizedReportProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  active_.assign(sim_->num_hosts(), 0);
+  reports_collected_ = 0;
+  sample_sum_ = 0.0;
+  Activate(hq, 0);
+  ScheduleProtocolTimer(hq, Horizon(), [this] {
+    double scale = 1.0 / p_;
+    result_.value = ctx_.aggregate == AggregateKind::kCount
+                        ? static_cast<double>(reports_collected_) * scale
+                        : sample_sum_ * scale;
+    result_.declared_at = sim_->Now();
+    result_.declared = true;
+  });
+}
+
+void RandomizedReportProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+
+  if (local == kBroadcast) {
+    if (self < active_.size() && active_[self]) return;
+    if (sim_->Now() >= Horizon()) return;
+    const auto& body = static_cast<const FloodBody&>(*msg.body);
+    Activate(self, body.hop + 1);
+    return;
+  }
+
+  if (local == kReport && self == hq_) {
+    if (sim_->Now() > Horizon()) return;
+    const auto& body = static_cast<const SampleReportBody&>(*msg.body);
+    ++reports_collected_;
+    sample_sum_ += body.value;
+  }
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,76 @@
+// RANDOMIZEDREPORT (paper §4.3): Approximate Single-Site Validity by
+// sampling. The query floods the network carrying a report probability p;
+// each receiving host reports (directly to hq) with probability p, and hq
+// declares |M| / p for count (or the scaled sample sum for sum) at
+// T = 2 * D-hat * delta.
+//
+// With p >= 4 / (eps^2 * n) * ln(2 / zeta), a Chernoff bound puts the count
+// estimate within (1 +- eps) * |H| with probability >= 1 - zeta, using about
+// p * |H| report messages instead of |H|.
+
+#ifndef VALIDITY_PROTOCOLS_RANDOMIZED_REPORT_H_
+#define VALIDITY_PROTOCOLS_RANDOMIZED_REPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace validity::protocols {
+
+struct RandomizedReportOptions {
+  /// Accuracy target eps in (0,1).
+  double epsilon = 0.1;
+  /// Failure probability zeta in (0,1).
+  double zeta = 0.05;
+  /// A-priori network size estimate used to size p (the paper's n in
+  /// p >= 4/(eps^2 n) ln(2/zeta)); any overestimate keeps the sample small,
+  /// an underestimate only makes the answer more accurate.
+  double n_estimate = 1000.0;
+  /// If > 0, overrides the derived probability.
+  double p_override = 0.0;
+  /// Seed of the per-host report coin.
+  uint64_t coin_seed = 7;
+};
+
+class RandomizedReportProtocol : public ProtocolBase {
+ public:
+  RandomizedReportProtocol(sim::Simulator* sim, QueryContext ctx,
+                           RandomizedReportOptions options);
+
+  void Start(HostId hq) override;
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  std::string_view name() const override { return "randomized-report"; }
+
+  /// The report probability actually used.
+  double report_probability() const { return p_; }
+  uint64_t reports_collected() const { return reports_collected_; }
+
+ private:
+  enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2 };
+
+  struct FloodBody : sim::MessageBody {
+    int32_t hop = 0;
+    double p = 1.0;
+    size_t SizeBytes() const override {
+      return sizeof(int32_t) + sizeof(double);
+    }
+  };
+
+  struct SampleReportBody : sim::MessageBody {
+    double value = 0.0;
+    size_t SizeBytes() const override { return sizeof(double); }
+  };
+
+  void Activate(HostId self, int32_t depth);
+
+  RandomizedReportOptions options_;
+  double p_ = 1.0;
+  std::vector<uint8_t> active_;
+  uint64_t reports_collected_ = 0;
+  double sample_sum_ = 0.0;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_RANDOMIZED_REPORT_H_

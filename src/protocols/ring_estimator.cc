@@ -1,0 +1,65 @@
+#include "protocols/ring_estimator.h"
+
+#include <algorithm>
+
+namespace validity::protocols {
+
+RingSizeEstimator::RingSizeEstimator(const sim::Simulator* sim,
+                                     uint64_t ring_seed)
+    : sim_(sim), ring_seed_(ring_seed) {
+  VALIDITY_CHECK(sim_ != nullptr);
+}
+
+double RingSizeEstimator::PositionOf(HostId h) const {
+  uint64_t bits = Mix64(ring_seed_ ^ (0x2545f4914f6cdd1dULL +
+                                      static_cast<uint64_t>(h)));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+RingSizeEstimator::AliveRing RingSizeEstimator::BuildAliveRing() const {
+  AliveRing ring;
+  ring.hosts.reserve(sim_->alive_count());
+  for (HostId h = 0; h < sim_->num_hosts(); ++h) {
+    if (sim_->IsAlive(h)) ring.hosts.push_back(h);
+  }
+  std::sort(ring.hosts.begin(), ring.hosts.end(), [this](HostId a, HostId b) {
+    return PositionOf(a) < PositionOf(b);
+  });
+  size_t n = ring.hosts.size();
+  ring.segments.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double here = PositionOf(ring.hosts[i]);
+    double pred = PositionOf(ring.hosts[(i + n - 1) % n]);
+    double seg = here - pred;
+    if (seg <= 0.0) seg += 1.0;        // wraps around the ring origin
+    if (n == 1) seg = 1.0;             // a lone host owns the whole ring
+    ring.segments[i] = seg;
+  }
+  return ring;
+}
+
+double RingSizeEstimator::SegmentOf(HostId h) const {
+  VALIDITY_CHECK(sim_->IsAlive(h), "segments are owned by alive hosts");
+  AliveRing ring = BuildAliveRing();
+  for (size_t i = 0; i < ring.hosts.size(); ++i) {
+    if (ring.hosts[i] == h) return ring.segments[i];
+  }
+  VALIDITY_CHECK(false, "alive host missing from ring");
+  return 0.0;
+}
+
+StatusOr<double> RingSizeEstimator::EstimateSize(uint32_t s, Rng* rng) const {
+  if (s == 0) return Status::InvalidArgument("sample size must be positive");
+  AliveRing ring = BuildAliveRing();
+  if (ring.hosts.empty()) {
+    return Status::FailedPrecondition("no alive hosts on the ring");
+  }
+  double x_s = 0.0;
+  for (uint32_t i = 0; i < s; ++i) {
+    x_s += ring.segments[rng->NextBelow(ring.hosts.size())];
+  }
+  if (x_s <= 0.0) return Status::Internal("degenerate segment sample");
+  return static_cast<double>(s) / x_s;
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,55 @@
+// Protocol-specific network-size estimation on DHT rings (paper §5.4).
+//
+// Ring-structured P2P protocols (Chord / Viceroy / Pastry) place hosts at
+// random identifiers on a unit ring; each host owns the segment back to its
+// clockwise predecessor. With s sampled hosts whose segments total X_s, the
+// estimator s / X_s approximates |H| (segment lengths average 1/|H|).
+//
+// The ring substrate simulates the identifier space: positions are a
+// deterministic hash of host id, and segment ownership is recomputed over
+// the alive hosts of the moment, exactly as a maintained DHT would.
+
+#ifndef VALIDITY_PROTOCOLS_RING_ESTIMATOR_H_
+#define VALIDITY_PROTOCOLS_RING_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace validity::protocols {
+
+class RingSizeEstimator {
+ public:
+  /// `ring_seed` fixes the identifier hash; estimates draw from `rng`.
+  RingSizeEstimator(const sim::Simulator* sim, uint64_t ring_seed);
+
+  /// Ring position of `h` in [0, 1).
+  double PositionOf(HostId h) const;
+
+  /// Segment length owned by alive host `h` right now: the clockwise
+  /// distance to its alive predecessor. Rebuilds the alive ring (O(n log n)).
+  double SegmentOf(HostId h) const;
+
+  /// s / X_s over a uniform sample of s alive hosts (with replacement).
+  /// Returns kInvalidArgument if no host is alive or s == 0.
+  StatusOr<double> EstimateSize(uint32_t s, Rng* rng) const;
+
+ private:
+  /// Alive hosts sorted by ring position, with parallel segment lengths.
+  struct AliveRing {
+    std::vector<HostId> hosts;
+    std::vector<double> segments;  // segments[i] owned by hosts[i]
+  };
+  AliveRing BuildAliveRing() const;
+
+  const sim::Simulator* sim_;
+  uint64_t ring_seed_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_RING_ESTIMATOR_H_

@@ -1,0 +1,169 @@
+#include "protocols/spanning_tree.h"
+
+#include <algorithm>
+
+namespace validity::protocols {
+
+SpanningTreeProtocol::SpanningTreeProtocol(sim::Simulator* sim,
+                                           QueryContext ctx,
+                                           SpanningTreeOptions options)
+    : ProtocolBase(sim, std::move(ctx)), options_(options) {}
+
+HostId SpanningTreeProtocol::ParentOf(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return kInvalidHost;
+  return states_[h].parent;
+}
+
+int32_t SpanningTreeProtocol::DepthOf(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return -1;
+  return states_[h].depth;
+}
+
+SimTime SpanningTreeProtocol::SlotTime(int32_t depth,
+                                       SimTime activation_time) const {
+  SimTime delta = sim_->options().delta;
+  // Depth-d slot: child reports (depth d+1, one slot earlier) arrive exactly
+  // at this instant; SendUp requeues itself behind them. The ladder is sound
+  // for D-hat >= depth_max + 1.
+  SimTime slot = start_time_ +
+                 (2.0 * ctx_.d_hat - static_cast<double>(depth) - 0.5) * delta;
+  // Late activation (churn-stretched paths): never report before having
+  // existed for a moment.
+  return std::max(slot, activation_time + 0.5 * delta);
+}
+
+void SpanningTreeProtocol::Activate(HostId self, HostId parent,
+                                    int32_t depth) {
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  st.active = true;
+  st.parent = parent;
+  st.depth = depth;
+  st.partial.AddHost(HostValue(self));
+
+  // Forward the query to every neighbor (including the parent: the forward
+  // doubles as the child-registration announcement used by kEager).
+  auto body = std::make_shared<TreeBroadcastBody>();
+  body->hop = depth;
+  body->parent = parent;
+  sim::Message out;
+  out.kind = MakeKind(kBroadcast);
+  out.body = body;
+  sim_->SendToNeighbors(self, out);
+
+  SimTime delta = sim_->options().delta;
+  if (options_.pacing == TreePacing::kEager) {
+    ScheduleProtocolTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
+                          [this, self] {
+                            states_[self].children_known = true;
+                            MaybeCompleteEager(self);
+                          });
+  }
+  // The report slot. In kEager it acts as a deadline fallback; in kSlotted
+  // it is the only send trigger. The handler requeues at the same instant
+  // so that child reports delivered at this exact time are folded in first.
+  SimTime slot = SlotTime(depth, sim_->Now());
+  ScheduleProtocolTimer(self, slot, [this, self] {
+    sim_->ScheduleAt(sim_->Now(), [this, self] {
+      if (sim_->IsAlive(self)) SendUp(self);
+    });
+  });
+}
+
+void SpanningTreeProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  states_.assign(sim_->num_hosts(), HostState{});
+  Activate(hq, kInvalidHost, 0);
+  // Root declaration: at the horizon with whatever has been folded in
+  // (kEager may declare earlier through MaybeCompleteEager).
+  ScheduleProtocolTimer(hq, Horizon(), [this, hq] { Declare(hq); });
+}
+
+void SpanningTreeProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+
+  if (local == kBroadcast) {
+    const auto& body = static_cast<const TreeBroadcastBody&>(*msg.body);
+    if (!st.active) {
+      if (sim_->Now() >= Horizon()) return;
+      Activate(self, msg.src, body.hop + 1);
+      return;
+    }
+    if (body.parent == self && options_.pacing == TreePacing::kEager) {
+      st.pending_children.push_back(msg.src);  // sender registered with us
+    }
+    return;
+  }
+
+  if (local == kReport) {
+    const auto& body = static_cast<const ReportBody&>(*msg.body);
+    if (body.to_parent != self) return;  // overheard on the wireless medium
+    if (!st.active || st.sent_up) return;
+    st.partial.Merge(body.partial);
+    if (self == hq_) result_.last_update_at = sim_->Now();
+    auto it = std::find(st.pending_children.begin(), st.pending_children.end(),
+                        msg.src);
+    if (it != st.pending_children.end()) st.pending_children.erase(it);
+    if (options_.pacing == TreePacing::kEager) MaybeCompleteEager(self);
+  }
+}
+
+void SpanningTreeProtocol::OnNeighborFailure(HostId self, HostId failed) {
+  if (options_.pacing != TreePacing::kEager) return;
+  if (self >= states_.size()) return;
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up) return;
+  // A failed child will never report; stop waiting for it. (Its subtree is
+  // simply lost — the best-effort behaviour the paper critiques.)
+  auto it =
+      std::find(st.pending_children.begin(), st.pending_children.end(), failed);
+  if (it != st.pending_children.end()) {
+    st.pending_children.erase(it);
+    MaybeCompleteEager(self);
+  }
+}
+
+void SpanningTreeProtocol::MaybeCompleteEager(HostId self) {
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up || !st.children_known) return;
+  if (!st.pending_children.empty()) return;
+  SendUp(self);
+}
+
+void SpanningTreeProtocol::SendUp(HostId self) {
+  HostState& st = states_[self];
+  if (!st.active || st.sent_up) return;
+  st.sent_up = true;
+  if (self == hq_) {
+    if (options_.pacing == TreePacing::kEager) Declare(self);
+    return;  // kSlotted: the root declares at the horizon
+  }
+  auto body = std::make_shared<ReportBody>();
+  body->partial = st.partial;
+  body->to_parent = st.parent;
+  sim::Message out;
+  out.kind = MakeKind(kReport);
+  out.body = body;
+  if (sim_->options().medium == sim::MediumKind::kWireless) {
+    // One radio transmission; only the addressed parent folds it in.
+    sim_->SendToNeighbors(self, out);
+  } else {
+    if (!sim_->IsAlive(st.parent)) return;  // orphaned: subtree is lost
+    sim_->SendTo(self, st.parent, out);
+  }
+}
+
+void SpanningTreeProtocol::Declare(HostId self) {
+  if (result_.declared) return;
+  HostState& st = states_[self];
+  result_.value = st.partial.Extract(ctx_.aggregate);
+  result_.declared_at = sim_->Now();
+  result_.declared = true;
+}
+
+}  // namespace validity::protocols

@@ -1,0 +1,102 @@
+// SPANNINGTREE (paper §4.4): the efficient best-effort baseline.
+//
+// Broadcast organizes hosts into a spanning tree rooted at hq (parent =
+// sender of the first query copy received, TAG-style); Convergecast
+// propagates duplicate-sensitive partial aggregates from the leaves to the
+// root along unique tree paths. A host failure during Convergecast silently
+// drops its whole collected subtree — the protocol can be arbitrarily
+// invalid (Theorem 4.4), which Figs. 7-9 quantify.
+//
+// Convergecast pacing (TreePacing):
+//  - kSlotted (default, TAG/paper-faithful): a host at depth d holds its
+//    partial aggregate until its slot (2*D-hat - d - 0.5) * delta and then
+//    reports to its parent; child reports land exactly at the parent's slot
+//    and are folded in first. Data therefore sits in interior hosts for
+//    most of the query window — exactly the exposure that makes trees
+//    collapse under churn in Figs. 7-9.
+//  - kEager (ablation): hosts discover their children (each broadcast
+//    forward names its parent, costing nothing extra), report as soon as
+//    every live child reported (heartbeats prune dead children), and fall
+//    back to the slot deadline. Much lower latency and far more
+//    churn-robust than the protocol the paper evaluates; the ablation
+//    bench quantifies the difference.
+
+#ifndef VALIDITY_PROTOCOLS_SPANNING_TREE_H_
+#define VALIDITY_PROTOCOLS_SPANNING_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "protocols/scalar_partial.h"
+
+namespace validity::protocols {
+
+enum class TreePacing { kSlotted, kEager };
+
+struct SpanningTreeOptions {
+  TreePacing pacing = TreePacing::kSlotted;
+};
+
+class SpanningTreeProtocol : public ProtocolBase {
+ public:
+  SpanningTreeProtocol(sim::Simulator* sim, QueryContext ctx,
+                       SpanningTreeOptions options = {});
+
+  void Start(HostId hq) override;
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  void OnNeighborFailure(HostId self, HostId failed) override;
+  std::string_view name() const override { return "spanning-tree"; }
+
+  /// Tree parent of `h` (kInvalidHost for hq and never-activated hosts).
+  HostId ParentOf(HostId h) const;
+  /// Tree depth of `h` (-1 if never activated).
+  int32_t DepthOf(HostId h) const;
+
+  /// kEager: children become known this many delta after activation (own
+  /// forward out: +delta; children's forwards back: +2*delta; +0.5 to order
+  /// the timer after same-instant deliveries).
+  static constexpr double kChildDiscoveryDelay = 2.5;
+
+ private:
+  enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2 };
+
+  struct TreeBroadcastBody : sim::MessageBody {
+    int32_t hop = 0;               // sender's depth
+    HostId parent = kInvalidHost;  // sender's chosen parent
+    size_t SizeBytes() const override {
+      return sizeof(int32_t) + sizeof(HostId);
+    }
+  };
+
+  struct ReportBody : sim::MessageBody {
+    ScalarPartial partial;
+    HostId to_parent = kInvalidHost;  // addressee (wireless filtering)
+    size_t SizeBytes() const override { return ScalarPartial::kWireBytes; }
+  };
+
+  struct HostState {
+    bool active = false;
+    bool children_known = false;
+    bool sent_up = false;
+    int32_t depth = 0;
+    HostId parent = kInvalidHost;
+    std::vector<HostId> pending_children;
+    ScalarPartial partial;
+  };
+
+  /// The slot instant at which a depth-d host reports upward.
+  SimTime SlotTime(int32_t depth, SimTime activation_time) const;
+
+  void Activate(HostId self, HostId parent, int32_t depth);
+  void MaybeCompleteEager(HostId self);
+  void SendUp(HostId self);
+  void Declare(HostId self);
+
+  SpanningTreeOptions options_;
+  std::vector<HostState> states_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_SPANNING_TREE_H_

@@ -1,0 +1,249 @@
+#include "protocols/wildfire.h"
+
+#include <algorithm>
+
+namespace validity::protocols {
+
+WildfireProtocol::WildfireProtocol(sim::Simulator* sim, QueryContext ctx,
+                                   WildfireOptions options)
+    : ProtocolBase(sim, std::move(ctx)), options_(options) {}
+
+int32_t WildfireProtocol::ActivationLevel(HostId h) const {
+  if (h >= states_.size() || !states_[h].active) return -1;
+  return states_[h].level;
+}
+
+SimTime WildfireProtocol::DeadlineFor(const HostState& st) const {
+  if (options_.early_termination && st.level > 0) {
+    return start_time_ +
+           (2.0 * ctx_.d_hat - static_cast<double>(st.level) + 1.0) *
+               sim_->options().delta;
+  }
+  return Horizon();
+}
+
+uint32_t WildfireProtocol::NeighborSlot(HostId self, HostId nb) const {
+  const auto& nbrs = sim_->NeighborsOf(self);
+  for (uint32_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == nb) return i;
+  }
+  VALIDITY_CHECK(false, "host %u is not a neighbor of %u", nb, self);
+  return 0;
+}
+
+void WildfireProtocol::Activate(HostId self, int32_t level) {
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  st.active = true;
+  st.level = level;
+  st.agg = InitialAggregate(self);
+  st.version = 1;
+  st.known_version.assign(sim_->NeighborsOf(self).size(), 0);
+}
+
+void WildfireProtocol::Start(HostId hq) {
+  VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
+  hq_ = hq;
+  start_time_ = sim_->Now();
+  states_.assign(sim_->num_hosts(), HostState{});
+  Activate(hq, 0);
+  HostState& st = states_[hq];
+
+  auto body = std::make_shared<WildfireBody>();
+  body->hop = 0;
+  if (options_.piggyback_broadcast) body->agg = *st.agg;
+  sim::Message bcast;
+  bcast.kind = MakeKind(kBroadcast);
+  bcast.body = body;
+  sim_->SendToNeighbors(hq, bcast);
+  if (options_.piggyback_broadcast) {
+    for (uint32_t slot = 0; slot < st.known_version.size(); ++slot) {
+      MarkKnown(&st, slot);
+    }
+  } else {
+    FloodAggregate(hq, &st, kInvalidHost);
+  }
+
+  ScheduleProtocolTimer(hq, Horizon(), [this, hq] {
+    const HostState& s = states_[hq];
+    result_.value = s.agg->Estimate();
+    result_.declared_at = sim_->Now();
+    result_.declared = true;
+  });
+}
+
+void WildfireProtocol::FloodAggregate(HostId self, HostState* st,
+                                      HostId exclude) {
+  auto body = std::make_shared<AggregateBody>(*st->agg);
+  sim::Message msg;
+  msg.kind = MakeKind(kConvergecast);
+  msg.body = body;
+  if (sim_->options().medium == sim::MediumKind::kWireless) {
+    // A radio transmission reaches every neighbor; send it if anyone is
+    // behind, and afterwards everyone alive has heard the current value.
+    bool anyone_behind = false;
+    const auto& nbrs = sim_->NeighborsOf(self);
+    for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+      if (!sim_->IsAlive(nbrs[slot])) continue;
+      if (!options_.skip_known_neighbors ||
+          st->known_version[slot] < st->version) {
+        anyone_behind = true;
+        break;
+      }
+    }
+    if (!anyone_behind) return;
+    sim_->SendToNeighbors(self, msg);
+    for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+      if (sim_->IsAlive(nbrs[slot])) MarkKnown(st, slot);
+    }
+    return;
+  }
+  const auto& nbrs = sim_->NeighborsOf(self);
+  for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+    HostId nb = nbrs[slot];
+    if (nb == exclude || !sim_->IsAlive(nb)) continue;
+    if (options_.skip_known_neighbors &&
+        st->known_version[slot] >= st->version) {
+      continue;
+    }
+    sim_->SendTo(self, nb, msg);
+    MarkKnown(st, slot);
+  }
+}
+
+void WildfireProtocol::ReplyAggregate(HostId self, HostState* st, HostId to) {
+  if (!sim_->IsAlive(to)) return;
+  uint32_t slot = NeighborSlot(self, to);
+  if (options_.skip_known_neighbors && st->known_version[slot] >= st->version) {
+    return;
+  }
+  auto body = std::make_shared<AggregateBody>(*st->agg);
+  sim::Message msg;
+  msg.kind = MakeKind(kConvergecast);
+  msg.body = body;
+  if (sim_->options().medium == sim::MediumKind::kWireless) {
+    sim_->SendToNeighbors(self, msg);
+    const auto& nbrs = sim_->NeighborsOf(self);
+    for (uint32_t s = 0; s < nbrs.size(); ++s) {
+      if (sim_->IsAlive(nbrs[s])) MarkKnown(st, s);
+    }
+    return;
+  }
+  sim_->SendTo(self, to, msg);
+  MarkKnown(st, slot);
+}
+
+void WildfireProtocol::ScheduleFlood(HostId self) {
+  HostState& st = states_[self];
+  if (!options_.coalesce_floods) {
+    FloodAggregate(self, &st, kInvalidHost);
+    return;
+  }
+  if (st.flood_pending) return;
+  st.flood_pending = true;
+  // Same instant, later sequence: runs after every delivery of this tick,
+  // so all simultaneous arrivals are folded into a single flood
+  // (Example 5.1's hosts batch per tick).
+  sim_->ScheduleAt(sim_->Now(), [this, self] {
+    HostState& s = states_[self];
+    s.flood_pending = false;
+    if (!sim_->IsAlive(self)) return;
+    if (sim_->Now() > DeadlineFor(s)) return;
+    FloodAggregate(self, &s, kInvalidHost);
+  });
+}
+
+void WildfireProtocol::HandleAggregate(HostId self, HostId from,
+                                       const PartialAggregate& in) {
+  HostState& st = states_[self];
+  uint32_t from_slot = NeighborSlot(self, from);
+  bool changed = st.agg->CombineFrom(in);
+  if (changed) {
+    ++st.version;
+    if (self == hq_) result_.last_update_at = sim_->Now();
+    // If the combined value equals the incoming one, the sender already
+    // holds it (Example 5.1: y skips sending its new A_y back to w).
+    if (st.agg->SameAs(in)) MarkKnown(&st, from_slot);
+    ScheduleFlood(self);
+    return;
+  }
+  if (st.agg->SameAs(in)) {
+    // Neighbor holds exactly our value: remember, no traffic.
+    MarkKnown(&st, from_slot);
+    return;
+  }
+  // Our value strictly dominates the sender's: point it at ours
+  // (Example 5.1: x sends A_x = 15 back to w).
+  ReplyAggregate(self, &st, from);
+}
+
+void WildfireProtocol::OnMessage(HostId self, const sim::Message& msg) {
+  uint32_t local = 0;
+  if (!DecodeKind(msg.kind, &local)) return;
+  if (self >= states_.size()) states_.resize(self + 1);
+  HostState& st = states_[self];
+  SimTime now = sim_->Now();
+
+  if (local == kBroadcast) {
+    const auto& body = static_cast<const WildfireBody&>(*msg.body);
+    if (!st.active) {
+      if (now >= Horizon()) return;  // Fig. 3: activate only while t < 2*Dh*d
+      Activate(self, body.hop + 1);
+      HostState& fresh = states_[self];
+      if (body.agg && fresh.agg->CombineFrom(*body.agg)) ++fresh.version;
+
+      auto fwd = std::make_shared<WildfireBody>();
+      fwd->hop = fresh.level;
+      if (options_.piggyback_broadcast) fwd->agg = *fresh.agg;
+      sim::Message out;
+      out.kind = MakeKind(kBroadcast);
+      out.body = fwd;
+      if (sim_->options().medium == sim::MediumKind::kWireless) {
+        sim_->SendToNeighbors(self, out);
+        if (options_.piggyback_broadcast) {
+          const auto& nbrs = sim_->NeighborsOf(self);
+          for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+            if (sim_->IsAlive(nbrs[slot])) MarkKnown(&fresh, slot);
+          }
+        }
+      } else {
+        const auto& nbrs = sim_->NeighborsOf(self);
+        for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+          HostId nb = nbrs[slot];
+          if (nb == msg.src || !sim_->IsAlive(nb)) continue;
+          sim_->SendTo(self, nb, out);
+          if (options_.piggyback_broadcast) MarkKnown(&fresh, slot);
+        }
+      }
+      if (options_.piggyback_broadcast && body.agg) {
+        if (fresh.agg->SameAs(*body.agg)) {
+          MarkKnown(&fresh, NeighborSlot(self, msg.src));
+        } else {
+          ReplyAggregate(self, &fresh, msg.src);
+        }
+      }
+      if (!options_.piggyback_broadcast) {
+        // Fig. 4 verbatim: on activation, send the partial aggregate to all
+        // neighbors as a separate convergecast message.
+        FloodAggregate(self, &fresh, kInvalidHost);
+      }
+      return;
+    }
+    // Duplicate broadcast at an active host: the flood itself is dropped,
+    // but a piggybacked aggregate is still fresh information.
+    if (body.agg) {
+      if (now > DeadlineFor(st)) return;
+      HandleAggregate(self, msg.src, *body.agg);
+    }
+    return;
+  }
+
+  if (local == kConvergecast) {
+    if (!st.active) return;  // inactive hosts do not participate (Fig. 4)
+    if (now > DeadlineFor(st)) return;
+    const auto& body = static_cast<const AggregateBody&>(*msg.body);
+    HandleAggregate(self, msg.src, body.agg);
+  }
+}
+
+}  // namespace validity::protocols

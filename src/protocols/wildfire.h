@@ -1,0 +1,99 @@
+// WILDFIRE (paper §5.1, Figs. 3-4): flooding aggregation with
+// duplicate-insensitive combine, guaranteeing Single-Site Validity.
+//
+// Phase I (Broadcast): the query floods the network; no edge-subset
+// structure is built. Phase II (Convergecast): every active host holds a
+// partial aggregate A_h; whenever A_h changes it re-floods A_h to its
+// neighbors, and when it learns a neighbor holds a strictly different value
+// it replies with A_h. Because the combine function is a semilattice join,
+// values reach hq along *every* surviving path — a stable path suffices,
+// which is exactly the Single-Site Validity requirement (Theorem 5.1).
+//
+// The two §5.3 engineering optimizations are implemented and toggleable:
+//  - piggyback_broadcast: the first convergecast message rides on the
+//    broadcast forward;
+//  - early_termination: a host at distance l participates until
+//    (2*D-hat - l + 1) * delta instead of 2*D-hat*delta.
+// A third, implied by Example 5.1's message trace, suppresses sends to
+// neighbors already known to hold the current value (skip_known_neighbors).
+
+#ifndef VALIDITY_PROTOCOLS_WILDFIRE_H_
+#define VALIDITY_PROTOCOLS_WILDFIRE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace validity::protocols {
+
+struct WildfireOptions {
+  bool piggyback_broadcast = true;
+  bool early_termination = true;
+  bool skip_known_neighbors = true;
+  /// Batch all deliveries of the same instant before re-flooding (hosts in
+  /// Example 5.1 combine every message of tick t and send once). Saves one
+  /// flood per extra same-tick arrival; toggleable for the ablation bench.
+  bool coalesce_floods = true;
+};
+
+class WildfireProtocol : public ProtocolBase {
+ public:
+  WildfireProtocol(sim::Simulator* sim, QueryContext ctx,
+                   WildfireOptions options = {});
+
+  void Start(HostId hq) override;
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  std::string_view name() const override { return "wildfire"; }
+
+  /// Hop distance at which `h` was activated (broadcast level); -1 if the
+  /// host never activated. Exposed for tests and the Fig. 13(b) analysis.
+  int32_t ActivationLevel(HostId h) const;
+
+ private:
+  enum LocalKind : uint32_t { kBroadcast = 1, kConvergecast = 2 };
+
+  struct WildfireBody : sim::MessageBody {
+    int32_t hop = 0;  // sender's level (broadcast only)
+    std::optional<PartialAggregate> agg;
+    size_t SizeBytes() const override {
+      return sizeof(int32_t) + (agg ? agg->SizeBytes() : 0);
+    }
+  };
+
+  struct HostState {
+    bool active = false;
+    bool flood_pending = false;  // a coalesced flood is scheduled
+    int32_t level = 0;
+    uint32_t version = 0;  // bumped on every A_h change
+    std::optional<PartialAggregate> agg;
+    // version already sent to / known by each neighbor, parallel to the
+    // simulator adjacency list of this host.
+    std::vector<uint32_t> known_version;
+  };
+
+  /// Last instant at which `self` still participates.
+  SimTime DeadlineFor(const HostState& st) const;
+
+  void Activate(HostId self, int32_t level);
+  /// Flood now, or once at the end of the current instant when coalescing.
+  void ScheduleFlood(HostId self);
+  /// Floods A_h to alive neighbors that are behind; `exclude` (optional)
+  /// is skipped, typically the broadcast sender.
+  void FloodAggregate(HostId self, HostState* st, HostId exclude);
+  /// Points a single neighbor at the current value if it is behind.
+  void ReplyAggregate(HostId self, HostState* st, HostId to);
+  void HandleAggregate(HostId self, HostId from, const PartialAggregate& in);
+  uint32_t NeighborSlot(HostId self, HostId nb) const;
+  void MarkKnown(HostState* st, uint32_t slot) {
+    st->known_version[slot] = st->version;
+  }
+
+  WildfireOptions options_;
+  std::vector<HostState> states_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_WILDFIRE_H_

@@ -1,0 +1,62 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace validity::sim {
+
+std::vector<ChurnEvent> MakeUniformChurn(uint32_t num_hosts, HostId protect,
+                                         uint32_t removals, SimTime start,
+                                         SimTime end, Rng* rng) {
+  VALIDITY_CHECK(removals < num_hosts,
+                 "cannot remove %u of %u hosts (querying host survives)",
+                 removals, num_hosts);
+  VALIDITY_CHECK(end >= start);
+  // Draw from [0, num_hosts-1) and shift indices >= protect up by one, so
+  // `protect` can never be selected.
+  std::vector<uint32_t> raw =
+      rng->SampleWithoutReplacement(num_hosts - 1, removals);
+  std::vector<ChurnEvent> events;
+  events.reserve(removals);
+  double span = end - start;
+  for (uint32_t i = 0; i < removals; ++i) {
+    HostId victim = raw[i] >= protect ? raw[i] + 1 : raw[i];
+    // Uniform rate: the i-th departure at the midpoint of its slot. Midpoint
+    // times are fractional, so departures never tie with integer-tick
+    // message deliveries.
+    SimTime t = start + span * (static_cast<double>(i) + 0.5) /
+                            static_cast<double>(removals);
+    events.push_back(ChurnEvent{t, victim});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+std::vector<ChurnEvent> MakeExponentialLifetimeChurn(uint32_t num_hosts,
+                                                     HostId protect,
+                                                     double mean_lifetime,
+                                                     SimTime horizon,
+                                                     Rng* rng) {
+  VALIDITY_CHECK(mean_lifetime > 0);
+  std::vector<ChurnEvent> events;
+  for (HostId h = 0; h < num_hosts; ++h) {
+    if (h == protect) continue;
+    double u = rng->NextDouble();
+    SimTime lifetime = -mean_lifetime * std::log1p(-u);
+    if (lifetime <= horizon) events.push_back(ChurnEvent{lifetime, h});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+void ScheduleChurn(Simulator* sim, const std::vector<ChurnEvent>& events) {
+  for (const ChurnEvent& e : events) sim->ScheduleFailure(e.time, e.host);
+}
+
+}  // namespace validity::sim

@@ -1,0 +1,46 @@
+// Churn schedules: scripted host departures/arrivals (paper §6.2).
+//
+// The evaluation removes "a total of R randomly selected hosts from G at a
+// uniform rate during [t0, tn]" and does not model joins (hosts joining
+// after Broadcast may or may not be counted under SSV, so they add nothing
+// to the validity question). Joins are nevertheless supported for the
+// continuous-query extensions.
+
+#ifndef VALIDITY_SIM_CHURN_H_
+#define VALIDITY_SIM_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace validity::sim {
+
+struct ChurnEvent {
+  SimTime time;
+  HostId host;
+};
+
+/// R distinct hosts drawn uniformly from [0, num_hosts) \ {protect}, failed
+/// at evenly spaced (fractional) times across [start, end]. Requires
+/// removals < num_hosts.
+std::vector<ChurnEvent> MakeUniformChurn(uint32_t num_hosts, HostId protect,
+                                         uint32_t removals, SimTime start,
+                                         SimTime end, Rng* rng);
+
+/// Session-length model: every host except `protect` draws an exponential
+/// lifetime with the given mean; failures beyond `horizon` are dropped.
+/// Used by the continuous-query extension experiments.
+std::vector<ChurnEvent> MakeExponentialLifetimeChurn(uint32_t num_hosts,
+                                                     HostId protect,
+                                                     double mean_lifetime,
+                                                     SimTime horizon, Rng* rng);
+
+/// Installs every event onto the simulator's queue.
+void ScheduleChurn(Simulator* sim, const std::vector<ChurnEvent>& events);
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_CHURN_H_

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace validity::sim {
+
+void EventQueue::ScheduleAt(SimTime t, Action action) {
+  VALIDITY_DCHECK(t >= now_, "event scheduled in the past (%f < %f)", t, now_);
+  heap_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the action is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!heap_.empty() && heap_.top().time <= t) RunOne();
+  now_ = std::max(now_, t);
+}
+
+void EventQueue::RunAll() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace validity::sim

@@ -1,0 +1,67 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// run in the order they were scheduled and every run is exactly replayable.
+
+#ifndef VALIDITY_SIM_EVENT_QUEUE_H_
+#define VALIDITY_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace validity::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `t` (must be >= Now()).
+  void ScheduleAt(SimTime t, Action action);
+
+  /// True if no events remain.
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Current simulated time: the time of the last popped event (0 before any
+  /// event has run).
+  SimTime Now() const { return now_; }
+
+  /// Pops and runs the next event. Returns false if the queue was empty.
+  bool RunOne();
+
+  /// Runs events while their time is <= `t` (events scheduled at exactly `t`
+  /// are included). Advances Now() to at most `t`.
+  void RunUntil(SimTime t);
+
+  /// Runs to exhaustion.
+  void RunAll();
+
+  /// Number of events executed so far.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_EVENT_QUEUE_H_

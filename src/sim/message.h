@@ -1,0 +1,48 @@
+// Messages exchanged between hosts.
+//
+// The simulator is protocol-agnostic: a Message carries a protocol-defined
+// integer kind plus an immutable, reference-counted body. Bodies are shared
+// (never mutated after send), so fanning a message out to many neighbors
+// costs one allocation total.
+
+#ifndef VALIDITY_SIM_MESSAGE_H_
+#define VALIDITY_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace validity::sim {
+
+/// Immutable protocol payload. Implementations report their wire size so the
+/// metrics layer can account byte traffic (paper §6.3 notes all protocols
+/// use small fixed-size messages; we verify rather than assume).
+class MessageBody {
+ public:
+  virtual ~MessageBody() = default;
+
+  /// Serialized size in bytes (approximate wire footprint).
+  virtual size_t SizeBytes() const = 0;
+};
+
+/// One point-to-point or broadcast-medium message.
+struct Message {
+  /// Protocol-defined discriminator (each protocol declares an enum).
+  uint32_t kind = 0;
+  /// Filled in by the network on send/delivery.
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  /// Optional payload; may be null for signal-only messages.
+  std::shared_ptr<const MessageBody> body;
+
+  /// Total approximate size: fixed header + payload.
+  size_t SizeBytes() const {
+    // kind + src + dst + flags, as a nominal 16-byte header.
+    return 16 + (body ? body->SizeBytes() : 0);
+  }
+};
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_MESSAGE_H_

@@ -1,0 +1,39 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace validity::sim {
+
+void Metrics::RecordSend(SimTime t, size_t bytes) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  last_send_time_ = std::max(last_send_time_, t);
+  VALIDITY_DCHECK(t >= 0);
+  size_t tick = static_cast<size_t>(std::floor(t));
+  if (sends_per_tick_.size() <= tick) sends_per_tick_.resize(tick + 1, 0);
+  ++sends_per_tick_[tick];
+}
+
+void Metrics::RecordProcessed(HostId h, SimTime t) {
+  VALIDITY_DCHECK(h < processed_.size());
+  ++processed_[h];
+  ++messages_delivered_;
+  last_delivery_time_ = std::max(last_delivery_time_, t);
+}
+
+uint64_t Metrics::MaxProcessed() const {
+  uint64_t max_count = 0;
+  for (uint64_t c : processed_) max_count = std::max(max_count, c);
+  return max_count;
+}
+
+Histogram Metrics::ComputationCostDistribution() const {
+  Histogram h;
+  for (uint64_t c : processed_) h.Add(static_cast<int64_t>(c));
+  return h;
+}
+
+}  // namespace validity::sim

@@ -1,0 +1,68 @@
+// Cost accounting for protocol runs (paper §6.3).
+//
+//  - Communication cost: number of messages sent. Under the wireless medium
+//    a transmission to all neighbors counts once; point-to-point counts one
+//    per destination.
+//  - Computation cost: per-host count of messages processed (received).
+//    The protocol-level computation cost is the max over hosts.
+//  - Time cost: tracked by the protocols as the result-declaration time;
+//    the metrics also record the last delivery time and the per-tick
+//    message series used by Fig. 13(b).
+
+#ifndef VALIDITY_SIM_METRICS_H_
+#define VALIDITY_SIM_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace validity::sim {
+
+class Metrics {
+ public:
+  explicit Metrics(uint32_t num_hosts) : processed_(num_hosts, 0) {}
+
+  /// Records a transmission of `bytes` at time `t` (one call per message for
+  /// point-to-point; one call per wireless broadcast).
+  void RecordSend(SimTime t, size_t bytes);
+
+  /// Records that host `h` processed one delivered message.
+  void RecordProcessed(HostId h, SimTime t);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  SimTime last_send_time() const { return last_send_time_; }
+  SimTime last_delivery_time() const { return last_delivery_time_; }
+
+  /// Messages processed by host `h`.
+  uint64_t ProcessedBy(HostId h) const { return processed_[h]; }
+
+  /// Max messages processed by any single host = protocol computation cost.
+  uint64_t MaxProcessed() const;
+
+  /// Histogram: processed-message count -> number of hosts (Fig. 12).
+  Histogram ComputationCostDistribution() const;
+
+  /// Messages sent during tick [i, i+1) (Fig. 13(b)). Index i = floor(t).
+  const std::vector<uint64_t>& SendsPerTick() const { return sends_per_tick_; }
+
+  /// Grows the per-host table when hosts join.
+  void OnHostAdded() { processed_.push_back(0); }
+
+ private:
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  SimTime last_send_time_ = 0;
+  SimTime last_delivery_time_ = 0;
+  std::vector<uint64_t> processed_;
+  std::vector<uint64_t> sends_per_tick_;
+};
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_METRICS_H_

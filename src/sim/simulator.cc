@@ -1,0 +1,163 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace validity::sim {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+}  // namespace
+
+Simulator::Simulator(const topology::Graph& graph, SimOptions options)
+    : options_(options),
+      alive_(graph.num_hosts(), 1),
+      failure_time_(graph.num_hosts(), kNever),
+      join_time_(graph.num_hosts(), 0.0),
+      alive_count_(graph.num_hosts()),
+      metrics_(graph.num_hosts()) {
+  VALIDITY_CHECK(options_.delta > 0, "delta must be positive");
+  adj_.resize(graph.num_hosts());
+  for (HostId h = 0; h < graph.num_hosts(); ++h) {
+    auto nbrs = graph.Neighbors(h);
+    adj_[h].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    queue_.RunOne();
+    CheckEventBudget();
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  queue_.RunUntil(t);
+  CheckEventBudget();
+}
+
+void Simulator::CheckEventBudget() const {
+  if (options_.max_events > 0) {
+    VALIDITY_CHECK(queue_.executed() <= options_.max_events,
+                   "event budget exhausted: protocol may not terminate");
+  }
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> action) {
+  queue_.ScheduleAt(t, std::move(action));
+}
+
+void Simulator::ScheduleAfter(SimTime dt, std::function<void()> action) {
+  queue_.ScheduleAt(Now() + dt, std::move(action));
+}
+
+void Simulator::FailHost(HostId h) {
+  VALIDITY_DCHECK(h < alive_.size());
+  if (!IsAlive(h)) return;
+  Trace(TraceEventKind::kFail, h, h, 0);
+  alive_[h] = 0;
+  failure_time_[h] = Now();
+  --alive_count_;
+  if (options_.failure_detection && program_ != nullptr) {
+    // Neighbors detect the silence one heartbeat interval plus one delay
+    // after the failure.
+    SimTime detect_at = Now() + options_.heartbeat_interval + options_.delta;
+    for (HostId nb : adj_[h]) {
+      if (!IsAlive(nb)) continue;
+      queue_.ScheduleAt(detect_at, [this, nb, h] {
+        if (IsAlive(nb) && program_ != nullptr) {
+          program_->OnNeighborFailure(nb, h);
+        }
+      });
+    }
+  }
+}
+
+void Simulator::ScheduleFailure(SimTime t, HostId h) {
+  queue_.ScheduleAt(t, [this, h] { FailHost(h); });
+}
+
+StatusOr<HostId> Simulator::AddHost(const std::vector<HostId>& neighbors) {
+  for (HostId nb : neighbors) {
+    if (nb >= adj_.size()) return Status::OutOfRange("unknown neighbor");
+    if (!IsAlive(nb)) {
+      return Status::FailedPrecondition("cannot join a failed neighbor");
+    }
+  }
+  HostId id = static_cast<HostId>(adj_.size());
+  adj_.emplace_back(neighbors);
+  for (HostId nb : neighbors) adj_[nb].push_back(id);
+  alive_.push_back(1);
+  failure_time_.push_back(kNever);
+  join_time_.push_back(Now());
+  Trace(TraceEventKind::kJoin, id, id, 0);
+  ++alive_count_;
+  metrics_.OnHostAdded();
+  return id;
+}
+
+void Simulator::DeliverTo(HostId to, const Message& msg) {
+  if (!IsAlive(to)) {
+    Trace(TraceEventKind::kDrop, msg.src, to, msg.kind);
+    return;  // lost: destination failed before delivery
+  }
+  Trace(TraceEventKind::kDeliver, msg.src, to, msg.kind);
+  metrics_.RecordProcessed(to, Now());
+  if (program_ != nullptr) program_->OnMessage(to, msg);
+}
+
+void Simulator::SendTo(HostId from, HostId to, Message msg) {
+  VALIDITY_DCHECK(from < adj_.size() && to < adj_.size());
+  if (!IsAlive(from)) return;  // failed hosts send nothing
+  msg.src = from;
+  msg.dst = to;
+  Trace(TraceEventKind::kSend, from, to, msg.kind);
+  metrics_.RecordSend(Now(), msg.SizeBytes());
+  SimTime arrive = Now() + options_.delta;
+  queue_.ScheduleAt(arrive,
+                    [this, to, m = std::move(msg)] { DeliverTo(to, m); });
+}
+
+void Simulator::SendToNeighbors(HostId from, Message msg) {
+  VALIDITY_DCHECK(from < adj_.size());
+  if (!IsAlive(from)) return;
+  msg.src = from;
+  if (options_.medium == MediumKind::kWireless) {
+    // One transmission; every alive neighbor hears it.
+    Trace(TraceEventKind::kSend, from, kInvalidHost, msg.kind);
+    metrics_.RecordSend(Now(), msg.SizeBytes());
+    SimTime arrive = Now() + options_.delta;
+    for (HostId nb : adj_[from]) {
+      if (!IsAlive(nb)) continue;
+      Message copy = msg;
+      copy.dst = nb;
+      queue_.ScheduleAt(arrive,
+                        [this, nb, m = std::move(copy)] { DeliverTo(nb, m); });
+    }
+    return;
+  }
+  for (HostId nb : adj_[from]) {
+    if (!IsAlive(nb)) continue;
+    SendTo(from, nb, msg);
+  }
+}
+
+void Simulator::SendDirect(HostId from, HostId to, Message msg) {
+  VALIDITY_DCHECK(from < adj_.size() && to < adj_.size());
+  VALIDITY_CHECK(options_.medium == MediumKind::kPointToPoint,
+                 "direct delivery requires a point-to-point underlay");
+  if (!IsAlive(from)) return;
+  msg.src = from;
+  msg.dst = to;
+  Trace(TraceEventKind::kSend, from, to, msg.kind);
+  metrics_.RecordSend(Now(), msg.SizeBytes());
+  queue_.ScheduleAt(Now() + options_.delta,
+                    [this, to, m = std::move(msg)] { DeliverTo(to, m); });
+}
+
+void Simulator::ScheduleTimer(HostId h, SimTime t, uint64_t timer_id) {
+  queue_.ScheduleAt(t, [this, h, timer_id] {
+    if (IsAlive(h) && program_ != nullptr) program_->OnTimer(h, timer_id);
+  });
+}
+
+}  // namespace validity::sim

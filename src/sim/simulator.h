@@ -1,0 +1,192 @@
+// The discrete-event network simulator.
+//
+// Models the paper's relaxed asynchronous system (§3.1-§3.2):
+//  - messages between neighbors arrive after the universal delay delta;
+//  - a message sent to an alive neighbor is reliably delivered; a message
+//    whose destination fails before delivery is lost;
+//  - a failed host sends nothing and processes nothing from its failure
+//    instant on; its edges disappear with it (partitions emerge naturally);
+//  - hosts may join at runtime, attaching to a set of alive neighbors;
+//  - neighbor failures can be detected via heartbeats: a neighbor learns of
+//    a failure at t_fail + T_hb + delta (§3.1). Heartbeat traffic itself is
+//    steady-state background load and is not charged to query cost, matching
+//    the paper's accounting.
+//
+// The simulator is protocol-agnostic. A protocol implements HostProgram and
+// receives message/timer/failure callbacks; all state per host lives in the
+// protocol object.
+
+#ifndef VALIDITY_SIM_SIMULATOR_H_
+#define VALIDITY_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "topology/graph.h"
+
+namespace validity::sim {
+
+/// Physical medium determines message accounting (paper §5.3/§6.6):
+/// point-to-point charges one message per destination; wireless charges one
+/// transmission reaching every neighbor.
+enum class MediumKind { kPointToPoint, kWireless };
+
+struct SimOptions {
+  /// Universal per-hop delay delta.
+  double delta = 1.0;
+  MediumKind medium = MediumKind::kPointToPoint;
+  /// Heartbeat interval T_hb; neighbor failure is detectable after
+  /// T_hb + delta.
+  double heartbeat_interval = 2.0;
+  /// Deliver HostProgram::OnNeighborFailure callbacks.
+  bool failure_detection = false;
+  /// Abort if more than this many events execute (0 = unlimited). Guards
+  /// against non-terminating protocols in tests.
+  uint64_t max_events = 0;
+};
+
+/// Protocol callback interface. One program instance serves every host;
+/// `self` identifies the host on whose behalf the callback runs.
+class HostProgram {
+ public:
+  virtual ~HostProgram() = default;
+
+  /// A message was delivered to alive host `self` at the current time.
+  virtual void OnMessage(HostId self, const Message& msg) = 0;
+
+  /// A timer scheduled via Simulator::ScheduleTimer fired (host still alive).
+  virtual void OnTimer(HostId self, uint64_t timer_id) { (void)self, (void)timer_id; }
+
+  /// Heartbeat detector: `failed` (a neighbor of `self`) is now known dead.
+  virtual void OnNeighborFailure(HostId self, HostId failed) {
+    (void)self, (void)failed;
+  }
+};
+
+class Simulator {
+ public:
+  /// Builds a simulator over `graph`; all hosts start alive at time 0.
+  Simulator(const topology::Graph& graph, SimOptions options);
+
+  // --- time & execution -----------------------------------------------
+
+  SimTime Now() const { return queue_.Now(); }
+  const SimOptions& options() const { return options_; }
+
+  /// Runs until the event queue is exhausted.
+  void Run();
+  /// Runs events with time <= t.
+  void RunUntil(SimTime t);
+  /// Schedules an arbitrary action (simulation scripting, churn, oracles).
+  void ScheduleAt(SimTime t, std::function<void()> action);
+  void ScheduleAfter(SimTime dt, std::function<void()> action);
+
+  // --- hosts ------------------------------------------------------------
+
+  uint32_t num_hosts() const { return static_cast<uint32_t>(adj_.size()); }
+  bool IsAlive(HostId h) const {
+    return h < alive_.size() && alive_[h] != 0;
+  }
+  uint32_t alive_count() const { return alive_count_; }
+
+  /// Neighbors as built (may include failed hosts; filter with IsAlive or
+  /// use ForEachAliveNeighbor).
+  const std::vector<HostId>& NeighborsOf(HostId h) const {
+    VALIDITY_DCHECK(h < adj_.size());
+    return adj_[h];
+  }
+
+  template <typename Fn>
+  void ForEachAliveNeighbor(HostId h, Fn&& fn) const {
+    for (HostId nb : adj_[h]) {
+      if (IsAlive(nb)) fn(nb);
+    }
+  }
+
+  /// Fails `h` immediately (no-op if already dead). Triggers failure
+  /// detection callbacks when enabled.
+  void FailHost(HostId h);
+  /// Schedules FailHost(h) at time t.
+  void ScheduleFailure(SimTime t, HostId h);
+
+  /// Adds a new host joined to `neighbors` (each must be alive) at Now().
+  StatusOr<HostId> AddHost(const std::vector<HostId>& neighbors);
+
+  /// Time at which `h` failed; +infinity while alive.
+  SimTime FailureTime(HostId h) const { return failure_time_[h]; }
+  /// Time at which `h` joined; 0 for initial hosts.
+  SimTime JoinTime(HostId h) const { return join_time_[h]; }
+
+  /// True if `h` was alive during the whole closed interval [a, b].
+  bool AliveThroughout(HostId h, SimTime a, SimTime b) const {
+    return join_time_[h] <= a && failure_time_[h] > b;
+  }
+  /// True if `h` was alive at some instant of [a, b].
+  bool AliveSometimeIn(HostId h, SimTime a, SimTime b) const {
+    return join_time_[h] <= b && failure_time_[h] > a;
+  }
+
+  // --- messaging ----------------------------------------------------------
+
+  /// Binds the protocol receiving callbacks. Exactly one program at a time.
+  void AttachProgram(HostProgram* program) { program_ = program; }
+
+  /// Sends one message from `from` to `to` (must be neighbors). Dropped
+  /// silently (and not charged) if `from` is dead; charged but undelivered
+  /// if `to` dies before the delivery instant.
+  void SendTo(HostId from, HostId to, Message msg);
+
+  /// Sends to every currently-alive neighbor of `from`. Point-to-point:
+  /// one charged message per neighbor. Wireless: one charged transmission,
+  /// every alive neighbor receives it.
+  void SendToNeighbors(HostId from, Message msg);
+
+  /// Sends directly to an arbitrary host, bypassing overlay edges. Models a
+  /// P2P underlay connection (the reporting host knows hq's IP address from
+  /// the query and opens a direct connection): one charged message, delta
+  /// delay. Not available on wireless sensor media.
+  void SendDirect(HostId from, HostId to, Message msg);
+
+  /// Fires HostProgram::OnTimer(h, timer_id) at time t if h is then alive.
+  void ScheduleTimer(HostId h, SimTime t, uint64_t timer_id);
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  uint64_t events_executed() const { return queue_.executed(); }
+
+  /// Optional event tracing; pass nullptr to detach. The recorder must
+  /// outlive the simulator (or be detached first).
+  void AttachTrace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  void DeliverTo(HostId to, const Message& msg);
+  void CheckEventBudget() const;
+  void Trace(TraceEventKind kind, HostId src, HostId dst, uint32_t mkind) {
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEvent{kind, Now(), src, dst, mkind});
+    }
+  }
+
+  SimOptions options_;
+  EventQueue queue_;
+  std::vector<std::vector<HostId>> adj_;
+  std::vector<uint8_t> alive_;
+  std::vector<SimTime> failure_time_;
+  std::vector<SimTime> join_time_;
+  uint32_t alive_count_ = 0;
+  HostProgram* program_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  Metrics metrics_;
+};
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_SIMULATOR_H_

@@ -1,0 +1,66 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace validity::sim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSend:
+      return "send";
+    case TraceEventKind::kDeliver:
+      return "deliver";
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kFail:
+      return "fail";
+    case TraceEventKind::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++overflowed_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Filter(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+size_t TraceRecorder::CountOf(TraceEventKind kind) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void TraceRecorder::Dump(std::ostream& os) const {
+  char line[128];
+  for (const TraceEvent& e : events_) {
+    std::snprintf(line, sizeof(line), "t=%-8.2f %-8s %u -> %u kind=0x%x\n",
+                  e.time, TraceEventKindName(e.kind), e.src, e.dst,
+                  e.message_kind);
+    os << line;
+  }
+  if (overflowed_ > 0) {
+    os << "(+" << overflowed_ << " events beyond capacity)\n";
+  }
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  overflowed_ = 0;
+}
+
+}  // namespace validity::sim

@@ -1,0 +1,63 @@
+// Event tracing: an optional recorder that captures sends, deliveries,
+// failures, and joins as structured records for debugging, protocol
+// visualization, and the walk-through tests (the Example 5.1 trace in the
+// test suite is checked against this recorder).
+
+#ifndef VALIDITY_SIM_TRACE_H_
+#define VALIDITY_SIM_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace validity::sim {
+
+enum class TraceEventKind : uint8_t { kSend, kDeliver, kDrop, kFail, kJoin };
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind;
+  SimTime time = 0;
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  uint32_t message_kind = 0;
+};
+
+/// Bounded in-memory trace. Recording stops silently at `capacity` events
+/// (the count of dropped records is reported) so a runaway protocol cannot
+/// exhaust memory.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void Record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t overflowed() const { return overflowed_; }
+
+  /// Events matching a predicate (e.g. all deliveries to one host).
+  std::vector<TraceEvent> Filter(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Number of recorded events of `kind`.
+  size_t CountOf(TraceEventKind kind) const;
+
+  /// Human-readable dump: "t=2.0 deliver 1 -> 3 kind=0x201".
+  void Dump(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  uint64_t overflowed_ = 0;
+};
+
+}  // namespace validity::sim
+
+#endif  // VALIDITY_SIM_TRACE_H_

@@ -1,0 +1,108 @@
+#include "sketch/fm_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+namespace validity::sketch {
+
+namespace {
+
+/// Binomial(n, 1/2) drawn exactly as the popcount of n fair random bits.
+uint64_t BinomialHalf(uint64_t n, Rng* rng) {
+  uint64_t successes = 0;
+  while (n >= 64) {
+    successes += static_cast<uint64_t>(std::popcount(rng->Next()));
+    n -= 64;
+  }
+  if (n > 0) {
+    uint64_t mask = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+    successes += static_cast<uint64_t>(std::popcount(rng->Next() & mask));
+  }
+  return successes;
+}
+
+}  // namespace
+
+FmSketch::FmSketch(const FmParams& params) : words_(params.num_vectors, 0) {
+  VALIDITY_CHECK(params.Validate().ok(), "bad FmParams");
+}
+
+FmSketch FmSketch::ForDistinctElement(const FmParams& params, Rng* rng) {
+  FmSketch s(params);
+  s.InsertDistinctElement(rng);
+  return s;
+}
+
+void FmSketch::InsertDistinctElement(Rng* rng) {
+  for (uint64_t& word : words_) {
+    word |= (1ULL << rng->GeometricBitIndex());
+  }
+}
+
+FmSketch FmSketch::ForMagnitude(const FmParams& params, uint64_t magnitude,
+                                Rng* rng) {
+  FmSketch s(params);
+  for (uint64_t& word : s.words_) {
+    // Successive binomial halving: of the elements that did not land on
+    // bits 0..b-1, each lands on bit b with probability exactly 1/2. This
+    // reproduces the exact joint distribution of the m-element multinomial
+    // over bit positions in O(m/64 + log m) random words.
+    uint64_t remaining = magnitude;
+    for (int b = 0; b < 63 && remaining > 0; ++b) {
+      uint64_t here = BinomialHalf(remaining, rng);
+      if (here > 0) word |= (1ULL << b);
+      remaining -= here;
+    }
+    if (remaining > 0) word |= (1ULL << 63);
+  }
+  return s;
+}
+
+bool FmSketch::MergeOr(const FmSketch& other) {
+  VALIDITY_CHECK(words_.size() == other.words_.size(),
+                 "merging sketches of different shapes (%zu vs %zu vectors)",
+                 words_.size(), other.words_.size());
+  bool changed = false;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t merged = words_[i] | other.words_[i];
+    changed |= merged != words_[i];
+    words_[i] = merged;
+  }
+  return changed;
+}
+
+int FmSketch::LowestZeroBit(uint32_t i) const {
+  VALIDITY_DCHECK(i < words_.size());
+  return std::countr_one(words_[i]);
+}
+
+double FmSketch::Estimate() const {
+  double z_total = 0.0;
+  for (uint32_t i = 0; i < words_.size(); ++i) {
+    z_total += static_cast<double>(LowestZeroBit(i));
+  }
+  double z_bar = z_total / static_cast<double>(words_.size());
+  return std::exp2(z_bar) / kFmPhi;
+}
+
+bool FmSketch::IsEmpty() const {
+  for (uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+FmSetEstimate EstimateSet(const FmParams& params,
+                          const std::vector<int64_t>& magnitudes, Rng* rng) {
+  FmSketch count_sketch(params);
+  FmSketch sum_sketch(params);
+  for (int64_t m : magnitudes) {
+    VALIDITY_CHECK(m >= 0, "sum sketch requires non-negative values");
+    count_sketch.InsertDistinctElement(rng);
+    sum_sketch.MergeOr(
+        FmSketch::ForMagnitude(params, static_cast<uint64_t>(m), rng));
+  }
+  return FmSetEstimate{count_sketch.Estimate(), sum_sketch.Estimate()};
+}
+
+}  // namespace validity::sketch

@@ -1,0 +1,102 @@
+// Flajolet–Martin probabilistic counting sketches (paper §5.2).
+//
+// An FmSketch is c bit-vectors of 64 bits each. Inserting one "distinct
+// element" sets, in each vector i, bit b_i drawn with the exponential
+// distribution P(b_i = k) = 2^-(k+1) (the paper's fair-coin-toss sequence).
+// Vectors combine by bitwise OR — the duplicate-insensitive combine function
+// that lets WILDFIRE flood partial aggregates along arbitrarily many paths.
+//
+// Estimation: z_i = index of the lowest 0 bit of vector i,
+// z-bar = mean(z_i), estimate = 2^z-bar / 0.77351.
+//
+// count: each host inserts one element.
+// sum:   a host with value m inserts m elements. Initialization is exact but
+//        runs in O(c * (m/64 + log m)) rather than O(c * m): the multinomial
+//        of m elements over bit positions is sampled by successive binomial
+//        halving (bit b receives Binomial(remaining, 1/2) of the remaining
+//        elements — popcounts of raw random words).
+
+#ifndef VALIDITY_SKETCH_FM_SKETCH_H_
+#define VALIDITY_SKETCH_FM_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace validity::sketch {
+
+/// The Flajolet–Martin bias correction constant phi.
+inline constexpr double kFmPhi = 0.77351;
+
+/// Sketch shape: number of repetitions c (paper Lemma 5.1 requires c > 2 for
+/// the factor-c guarantee; Fig. 6 shows c ~ 8 suffices in practice).
+struct FmParams {
+  uint32_t num_vectors = 8;
+
+  Status Validate() const {
+    if (num_vectors == 0) {
+      return Status::InvalidArgument("FM sketch needs >= 1 vector");
+    }
+    return Status::Ok();
+  }
+};
+
+class FmSketch {
+ public:
+  /// An all-zero sketch with `params.num_vectors` vectors.
+  explicit FmSketch(const FmParams& params = FmParams{});
+
+  /// Sketch of a single distinct element (count initialization: the host
+  /// "pretends to have an element distinct from other hosts").
+  static FmSketch ForDistinctElement(const FmParams& params, Rng* rng);
+
+  /// Sketch of `magnitude` distinct elements (sum initialization: a host
+  /// with value m contributes m elements). Exact distribution, O(c log m).
+  static FmSketch ForMagnitude(const FmParams& params, uint64_t magnitude,
+                               Rng* rng);
+
+  /// Inserts one additional distinct element.
+  void InsertDistinctElement(Rng* rng);
+
+  /// Bitwise-OR merge; the duplicate-insensitive combine. Returns true if
+  /// any bit of *this changed (WILDFIRE re-floods only on change).
+  bool MergeOr(const FmSketch& other);
+
+  /// Lowest zero-bit index of vector i (the FM "z" statistic).
+  int LowestZeroBit(uint32_t i) const;
+
+  /// 2^mean(z) / phi.
+  double Estimate() const;
+
+  bool IsEmpty() const;
+  uint32_t num_vectors() const { return static_cast<uint32_t>(words_.size()); }
+  uint64_t word(uint32_t i) const { return words_[i]; }
+
+  /// Wire size: c 64-bit vectors (paper: "the c B_i values each of size
+  /// 32b"; we carry 64-bit vectors).
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  bool operator==(const FmSketch& other) const {
+    return words_ == other.words_;
+  }
+  bool operator!=(const FmSketch& other) const { return !(*this == other); }
+
+ private:
+  std::vector<uint64_t> words_;  // words_[i] = bit-vector B_i
+};
+
+/// Convenience for the Fig. 6 standalone evaluation: sketches every value of
+/// `magnitudes` as if held by distinct hosts and returns (count_estimate,
+/// sum_estimate).
+struct FmSetEstimate {
+  double count = 0;
+  double sum = 0;
+};
+FmSetEstimate EstimateSet(const FmParams& params,
+                          const std::vector<int64_t>& magnitudes, Rng* rng);
+
+}  // namespace validity::sketch
+
+#endif  // VALIDITY_SKETCH_FM_SKETCH_H_

@@ -1,0 +1,128 @@
+#include "topology/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace validity::topology {
+
+std::vector<int32_t> BfsDistances(const Graph& g, HostId src) {
+  return BfsDistancesFiltered(g, src, [](HostId) { return true; });
+}
+
+std::vector<int32_t> BfsDistancesFiltered(
+    const Graph& g, HostId src, const std::function<bool(HostId)>& alive) {
+  std::vector<int32_t> dist(g.num_hosts(), kUnreachable);
+  if (src >= g.num_hosts() || !alive(src)) return dist;
+  std::deque<HostId> frontier;
+  dist[src] = 0;
+  frontier.push_back(src);
+  while (!frontier.empty()) {
+    HostId u = frontier.front();
+    frontier.pop_front();
+    for (HostId v : g.Neighbors(u)) {
+      if (dist[v] == kUnreachable && alive(v)) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  Components out;
+  out.component_of.assign(g.num_hosts(), UINT32_MAX);
+  std::deque<HostId> frontier;
+  for (HostId start = 0; start < g.num_hosts(); ++start) {
+    if (out.component_of[start] != UINT32_MAX) continue;
+    uint32_t id = out.count++;
+    out.sizes.push_back(0);
+    out.component_of[start] = id;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      HostId u = frontier.front();
+      frontier.pop_front();
+      ++out.sizes[id];
+      for (HostId v : g.Neighbors(u)) {
+        if (out.component_of[v] == UINT32_MAX) {
+          out.component_of[v] = id;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  for (uint32_t id = 0; id < out.count; ++id) {
+    if (out.sizes[id] > out.sizes[out.largest]) out.largest = id;
+  }
+  return out;
+}
+
+uint32_t Eccentricity(const Graph& g, HostId src) {
+  std::vector<int32_t> dist = BfsDistances(g, src);
+  int32_t ecc = 0;
+  for (int32_t d : dist) ecc = std::max(ecc, d);
+  return static_cast<uint32_t>(ecc);
+}
+
+uint32_t ExactDiameter(const Graph& g) {
+  uint32_t diameter = 0;
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    diameter = std::max(diameter, Eccentricity(g, h));
+  }
+  return diameter;
+}
+
+uint32_t EstimateDiameter(const Graph& g, int sweeps, Rng* rng) {
+  if (g.num_hosts() == 0) return 0;
+  uint32_t best = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    HostId start = static_cast<HostId>(rng->NextBelow(g.num_hosts()));
+    // Double sweep: BFS from a random host, then BFS again from the farthest
+    // host found; the second eccentricity lower-bounds the diameter and is
+    // typically tight on small-world graphs.
+    std::vector<int32_t> d1 = BfsDistances(g, start);
+    HostId far = start;
+    int32_t far_d = 0;
+    for (HostId h = 0; h < g.num_hosts(); ++h) {
+      if (d1[h] > far_d) {
+        far_d = d1[h];
+        far = h;
+      }
+    }
+    best = std::max(best, Eccentricity(g, far));
+  }
+  return best;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  if (g.num_hosts() == 0) return stats;
+  stats.min = UINT32_MAX;
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    uint32_t d = g.Degree(h);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    stats.histogram.Add(d);
+  }
+  stats.average = g.AverageDegree();
+  return stats;
+}
+
+double EstimatePowerLawExponent(const Graph& g, uint32_t d_min) {
+  // Discrete MLE approximation: gamma ~= 1 + n / sum(ln(d_i / (d_min - 0.5))).
+  double log_sum = 0.0;
+  uint32_t n = 0;
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    uint32_t d = g.Degree(h);
+    if (d >= d_min) {
+      log_sum +=
+          std::log(static_cast<double>(d) / (static_cast<double>(d_min) - 0.5));
+      ++n;
+    }
+  }
+  if (n < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace validity::topology

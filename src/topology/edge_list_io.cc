@@ -1,0 +1,70 @@
+#include "topology/edge_list_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace validity::topology {
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open " + path + " for write");
+  out << "# validity edge list\n";
+  out << g.num_hosts() << ' ' << g.num_edges() << '\n';
+  for (HostId a = 0; a < g.num_hosts(); ++a) {
+    for (HostId b : g.Neighbors(a)) {
+      if (a < b) out << a << ' ' << b << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::Unavailable("write to " + path + " failed");
+  return Status::Ok();
+}
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  uint64_t num_hosts = 0;
+  uint64_t num_edges = 0;
+  bool header_seen = false;
+  Graph g(0);
+  uint64_t edges_read = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (!header_seen) {
+      if (!(ss >> num_hosts >> num_edges) || num_hosts > UINT32_MAX) {
+        return Status::InvalidArgument("bad header in " + path);
+      }
+      g = Graph(static_cast<uint32_t>(num_hosts));
+      header_seen = true;
+      continue;
+    }
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!(ss >> a >> b)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed edge line");
+    }
+    if (a >= num_hosts || b >= num_hosts) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": endpoint out of range");
+    }
+    Status st = g.AddEdge(static_cast<HostId>(a), static_cast<HostId>(b));
+    if (!st.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + st.ToString());
+    }
+    ++edges_read;
+  }
+  if (!header_seen) return Status::InvalidArgument("empty edge list " + path);
+  if (edges_read != num_edges) {
+    return Status::InvalidArgument("edge count mismatch in " + path);
+  }
+  VALIDITY_RETURN_IF_ERROR(g.Validate());
+  return g;
+}
+
+}  // namespace validity::topology

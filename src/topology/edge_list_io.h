@@ -1,0 +1,27 @@
+// Plain-text edge-list persistence for topologies.
+//
+// Format:
+//   line 1: "<num_hosts> <num_edges>"
+//   then one "<a> <b>" line per undirected edge.
+// Lines starting with '#' are comments. Used to cache generated topologies
+// between bench runs and to import externally crawled overlays.
+
+#ifndef VALIDITY_TOPOLOGY_EDGE_LIST_IO_H_
+#define VALIDITY_TOPOLOGY_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "topology/graph.h"
+
+namespace validity::topology {
+
+/// Writes `g` to `path`, overwriting any existing file.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a graph from `path`; validates symmetry/simplicity on load.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+}  // namespace validity::topology
+
+#endif  // VALIDITY_TOPOLOGY_EDGE_LIST_IO_H_

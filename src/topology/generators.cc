@@ -1,0 +1,317 @@
+#include "topology/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "topology/algorithms.h"
+
+namespace validity::topology {
+
+namespace {
+
+/// Connects every component to the largest one with a single random edge
+/// each, so the generated network is usable as one overlay. The number of
+/// stitched edges is reported by tests to confirm the perturbation is tiny.
+void StitchComponents(Graph* g, Rng* rng) {
+  Components comps = ConnectedComponents(*g);
+  if (comps.count <= 1) return;
+  // Collect one random representative per component and all hosts of the
+  // largest component for random anchor selection.
+  std::vector<std::vector<HostId>> members(comps.count);
+  for (HostId h = 0; h < g->num_hosts(); ++h) {
+    members[comps.component_of[h]].push_back(h);
+  }
+  const auto& giant = members[comps.largest];
+  for (uint32_t c = 0; c < comps.count; ++c) {
+    if (c == comps.largest) continue;
+    const auto& comp = members[c];
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      HostId a = comp[rng->NextBelow(comp.size())];
+      HostId b = giant[rng->NextBelow(giant.size())];
+      if (g->AddEdge(a, b).ok()) break;
+    }
+  }
+}
+
+/// Weighted pick of the attachment fan-out used by MakeGnutellaLike:
+/// favors 1-2 links (leaf-like peers) with a small heavy tail, yielding an
+/// average degree around 3.5, as measured for Gnutella in 2001.
+uint32_t GnutellaFanout(Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < 0.55) return 1;
+  if (u < 0.80) return 2;
+  if (u < 0.92) return 3;
+  if (u < 0.97) return 4;
+  return 5;
+}
+
+}  // namespace
+
+StatusOr<Graph> MakeRandom(uint32_t n, double avg_degree, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("empty network");
+  if (avg_degree < 0.0 || avg_degree > static_cast<double>(n - 1)) {
+    return Status::InvalidArgument("average degree out of range");
+  }
+  Graph g(n);
+  if (n == 1) return g;
+  Rng rng(seed);
+  double p = avg_degree / static_cast<double>(n - 1);
+  if (p > 0.0) {
+    // O(n + m) G(n,p): geometric skips through the strictly-upper-triangular
+    // pair sequence.
+    const double log1mp = std::log1p(-std::min(p, 1.0 - 1e-12));
+    uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+    uint64_t idx = 0;
+    while (true) {
+      double u = rng.NextDouble();
+      uint64_t skip =
+          p >= 1.0 ? 0
+                   : static_cast<uint64_t>(std::floor(std::log1p(-u) / log1mp));
+      idx += skip;
+      if (idx >= total_pairs) break;
+      // Map linear pair index -> (row a, col b) of the upper triangle.
+      uint64_t a = static_cast<uint64_t>(
+          (2.0 * static_cast<double>(n) - 1.0 -
+           std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                     8.0 * static_cast<double>(idx))) /
+          2.0);
+      // Guard against floating point drift at block boundaries.
+      auto row_start = [&](uint64_t r) {
+        return r * (2 * n - r - 1) / 2;
+      };
+      while (a > 0 && row_start(a) > idx) --a;
+      while (row_start(a + 1) <= idx) ++a;
+      uint64_t b = a + 1 + (idx - row_start(a));
+      Status st = g.AddEdge(static_cast<HostId>(a), static_cast<HostId>(b));
+      VALIDITY_CHECK(st.ok(), "G(n,p) pair enumeration produced a bad edge");
+      ++idx;
+    }
+  }
+  StitchComponents(&g, &rng);
+  return g;
+}
+
+StatusOr<Graph> MakePowerLaw(uint32_t n, double gamma, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("power-law graph needs >= 2 hosts");
+  if (gamma <= 1.0) {
+    return Status::InvalidArgument("power-law exponent must exceed 1");
+  }
+  Rng rng(seed);
+  // Natural cutoff n^(1/(gamma-1)) keeps the expected maximum degree scale
+  // correct for a finite network.
+  uint32_t d_max = std::max<uint32_t>(
+      2, static_cast<uint32_t>(
+             std::pow(static_cast<double>(n), 1.0 / (gamma - 1.0))));
+  d_max = std::min(d_max, n - 1);
+  // CDF of P(d) ~ d^-gamma over [1, d_max].
+  std::vector<double> cdf(d_max);
+  double total = 0.0;
+  for (uint32_t d = 1; d <= d_max; ++d) {
+    total += std::pow(static_cast<double>(d), -gamma);
+    cdf[d - 1] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf.back() = 1.0;
+
+  std::vector<uint32_t> degree(n);
+  uint64_t stub_count = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    uint32_t d = static_cast<uint32_t>(
+                     std::upper_bound(cdf.begin(), cdf.end(), u) - cdf.begin()) +
+                 1;
+    degree[i] = d;
+    stub_count += d;
+  }
+  if (stub_count % 2 == 1) {
+    ++degree[rng.NextBelow(n)];
+    ++stub_count;
+  }
+  std::vector<HostId> stubs;
+  stubs.reserve(stub_count);
+  for (HostId i = 0; i < n; ++i) {
+    for (uint32_t k = 0; k < degree[i]; ++k) stubs.push_back(i);
+  }
+  rng.Shuffle(&stubs);
+  Graph g(n);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    // Configuration model simplification: self-loops and duplicate pairings
+    // are silently discarded.
+    (void)g.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  StitchComponents(&g, &rng);
+  return g;
+}
+
+StatusOr<Graph> MakeBarabasiAlbert(uint32_t n, uint32_t m, uint64_t seed) {
+  if (m == 0) return Status::InvalidArgument("attachment count must be >= 1");
+  if (n < m + 1) {
+    return Status::InvalidArgument("need at least m+1 hosts");
+  }
+  Rng rng(seed);
+  Graph g(n);
+  // Seed clique on the first m+1 hosts.
+  for (HostId a = 0; a <= m; ++a) {
+    for (HostId b = a + 1; b <= m; ++b) {
+      VALIDITY_CHECK(g.AddEdge(a, b).ok());
+    }
+  }
+  // Endpoint multiset: each host appears once per incident edge, so a
+  // uniform draw implements preferential attachment.
+  std::vector<HostId> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(n) * m);
+  for (HostId a = 0; a <= m; ++a) {
+    for (HostId b = a + 1; b <= m; ++b) {
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (HostId v = m + 1; v < n; ++v) {
+    uint32_t added = 0;
+    uint32_t attempts = 0;
+    while (added < m && attempts < 64 * m) {
+      ++attempts;
+      HostId target = endpoints[rng.NextBelow(endpoints.size())];
+      if (g.AddEdge(v, target).ok()) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+    VALIDITY_CHECK(added > 0, "BA attachment starved");
+  }
+  return g;
+}
+
+StatusOr<Graph> MakeGrid(uint32_t side) {
+  if (side == 0) return Status::InvalidArgument("empty grid");
+  uint64_t n64 = static_cast<uint64_t>(side) * side;
+  if (n64 > UINT32_MAX) return Status::InvalidArgument("grid too large");
+  Graph g(static_cast<uint32_t>(n64));
+  auto id = [side](uint32_t r, uint32_t c) {
+    return static_cast<HostId>(r * side + c);
+  };
+  for (uint32_t r = 0; r < side; ++r) {
+    for (uint32_t c = 0; c < side; ++c) {
+      // Moore neighborhood, adding each undirected edge once: E, SW, S, SE.
+      if (c + 1 < side) VALIDITY_CHECK(g.AddEdge(id(r, c), id(r, c + 1)).ok());
+      if (r + 1 < side) {
+        if (c > 0) VALIDITY_CHECK(g.AddEdge(id(r, c), id(r + 1, c - 1)).ok());
+        VALIDITY_CHECK(g.AddEdge(id(r, c), id(r + 1, c)).ok());
+        if (c + 1 < side) {
+          VALIDITY_CHECK(g.AddEdge(id(r, c), id(r + 1, c + 1)).ok());
+        }
+      }
+    }
+  }
+  return g;
+}
+
+StatusOr<Graph> MakeGnutellaLike(uint32_t n, uint64_t seed) {
+  if (n < 8) return Status::InvalidArgument("gnutella-like needs >= 8 hosts");
+  Rng rng(seed);
+  Graph g(n);
+  // Small seed ring so early hosts are not all mutually adjacent.
+  constexpr HostId kSeedHosts = 6;
+  for (HostId a = 0; a < kSeedHosts; ++a) {
+    VALIDITY_CHECK(g.AddEdge(a, (a + 1) % kSeedHosts).ok());
+  }
+  std::vector<HostId> endpoints;
+  endpoints.reserve(4 * static_cast<size_t>(n));
+  for (HostId a = 0; a < kSeedHosts; ++a) {
+    endpoints.push_back(a);
+    endpoints.push_back((a + 1) % kSeedHosts);
+  }
+  for (HostId v = kSeedHosts; v < n; ++v) {
+    uint32_t fanout = std::min<uint32_t>(GnutellaFanout(&rng), v);
+    uint32_t added = 0;
+    uint32_t attempts = 0;
+    while (added < fanout && attempts < 64 * fanout) {
+      ++attempts;
+      // 85% preferential attachment (hubs / ultrapeer-like core), 15%
+      // uniform (fresh peers bootstrap off random host caches).
+      HostId target = rng.Bernoulli(0.85)
+                          ? endpoints[rng.NextBelow(endpoints.size())]
+                          : static_cast<HostId>(rng.NextBelow(v));
+      if (g.AddEdge(v, target).ok()) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+    VALIDITY_CHECK(added > 0, "gnutella-like attachment starved");
+  }
+  StitchComponents(&g, &rng);
+  return g;
+}
+
+StatusOr<Graph> MakeSmallWorld(uint32_t n, uint32_t k, double beta,
+                               uint64_t seed) {
+  if (k == 0 || k % 2 != 0) {
+    return Status::InvalidArgument("small world needs even k >= 2");
+  }
+  if (n < k + 2) return Status::InvalidArgument("need n > k + 1 hosts");
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("rewire probability must be in [0,1]");
+  }
+  Rng rng(seed);
+  Graph g(n);
+  // Ring lattice with rewiring: each clockwise edge (i, i+j) survives with
+  // probability 1 - beta, otherwise i is re-linked to a uniform host.
+  for (HostId i = 0; i < n; ++i) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      HostId lattice = static_cast<HostId>((i + j) % n);
+      if (!rng.Bernoulli(beta)) {
+        (void)g.AddEdge(i, lattice);  // duplicate after a rewire: skip
+        continue;
+      }
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        HostId target = static_cast<HostId>(rng.NextBelow(n));
+        if (target != i && g.AddEdge(i, target).ok()) break;
+      }
+    }
+  }
+  StitchComponents(&g, &rng);
+  return g;
+}
+
+StatusOr<Graph> MakeChain(uint32_t n) {
+  if (n == 0) return Status::InvalidArgument("empty chain");
+  Graph g(n);
+  for (HostId i = 0; i + 1 < n; ++i) {
+    VALIDITY_CHECK(g.AddEdge(i, i + 1).ok());
+  }
+  return g;
+}
+
+StatusOr<Graph> MakeCycle(uint32_t n) {
+  if (n < 3) return Status::InvalidArgument("cycle needs >= 3 hosts");
+  Graph g(n);
+  for (HostId i = 0; i < n; ++i) {
+    VALIDITY_CHECK(g.AddEdge(i, (i + 1) % n).ok());
+  }
+  return g;
+}
+
+StatusOr<Graph> MakeStar(uint32_t n) {
+  if (n < 2) return Status::InvalidArgument("star needs >= 2 hosts");
+  Graph g(n);
+  for (HostId i = 1; i < n; ++i) {
+    VALIDITY_CHECK(g.AddEdge(0, i).ok());
+  }
+  return g;
+}
+
+StatusOr<Graph> MakeTheorem44Instance(uint32_t n) {
+  if (n < 1) return Status::InvalidArgument("need n >= 1");
+  uint32_t cycle = 2 * n + 2;
+  Graph g(cycle + 1);
+  for (HostId i = 0; i < cycle; ++i) {
+    VALIDITY_CHECK(g.AddEdge(i, (i + 1) % cycle).ok());
+  }
+  VALIDITY_CHECK(g.AddEdge(cycle, n + 1).ok());  // tail host h_{2n+2}
+  return g;
+}
+
+}  // namespace validity::topology

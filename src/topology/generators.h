@@ -1,0 +1,80 @@
+// Topology generators for the paper's four evaluation networks (§6.1) plus
+// regular/adversarial shapes used by proofs and tests.
+//
+// Evaluation topologies:
+//   (A) Gnutella  — real-life crawl in the paper (|H| = 39,046; the DSS
+//                   Clip2 dataset is not publicly archived). Substituted by
+//                   MakeGnutellaLike: a preferential-attachment overlay
+//                   matching the published 2001 crawl measurements (heavy
+//                   tailed degrees, avg degree ~3.4, diameter ~12).
+//   (B) Random    — G(n, p) with average degree 5.
+//   (C) Power-law — configuration model with exponent gamma = 2.9.
+//   (D) Grid      — sqrt(n) x sqrt(n) sensor field; neighbors are the hosts
+//                   in the enclosing 2-unit square (Moore 8-neighborhood).
+//
+// All generators return connected graphs (components are stitched to the
+// giant component with single random edges, a negligible perturbation that
+// the tests quantify) and are deterministic in (parameters, seed).
+
+#ifndef VALIDITY_TOPOLOGY_GENERATORS_H_
+#define VALIDITY_TOPOLOGY_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "topology/graph.h"
+
+namespace validity::topology {
+
+/// Erdős–Rényi G(n, p) with p chosen so the expected average degree is
+/// `avg_degree`; stitched to be connected.
+StatusOr<Graph> MakeRandom(uint32_t n, double avg_degree, uint64_t seed);
+
+/// Configuration-model graph whose degree distribution has a power-law tail
+/// with exponent `gamma` (paper uses 2.9). Self-loops and multi-edges from
+/// the stub pairing are dropped; the result is stitched to be connected.
+StatusOr<Graph> MakePowerLaw(uint32_t n, double gamma, uint64_t seed);
+
+/// Barabási–Albert preferential attachment, `m` edges per arriving host.
+StatusOr<Graph> MakeBarabasiAlbert(uint32_t n, uint32_t m, uint64_t seed);
+
+/// side x side sensor grid; each host is adjacent to every host in the
+/// enclosing 2-unit square (up to 8 neighbors).
+StatusOr<Graph> MakeGrid(uint32_t side);
+
+/// Synthetic stand-in for the paper's Gnutella crawl: preferential
+/// attachment with a mixed out-degree (many 1-2 link leaves, a heavy-tailed
+/// hub core) plus a sprinkle of random "rewire" edges, reproducing the
+/// published avg degree ~3.4 and diameter ~12 at n = 39,046.
+StatusOr<Graph> MakeGnutellaLike(uint32_t n, uint64_t seed);
+
+/// Watts–Strogatz small world: a ring lattice where every host links to its
+/// k nearest ring neighbors (k even), each edge rewired to a random
+/// endpoint with probability beta. The paper leans on the small-world
+/// property of information networks (§3.2) for its "D grows extremely
+/// slowly with |H|" assumption; this generator lets experiments dial the
+/// lattice-to-expander spectrum explicitly.
+StatusOr<Graph> MakeSmallWorld(uint32_t n, uint32_t k, double beta,
+                               uint64_t seed);
+
+/// Path h0 - h1 - ... - h(n-1).
+StatusOr<Graph> MakeChain(uint32_t n);
+
+/// Cycle of n hosts.
+StatusOr<Graph> MakeCycle(uint32_t n);
+
+/// Star: host 0 adjacent to all others.
+StatusOr<Graph> MakeStar(uint32_t n);
+
+/// The Theorem 4.4 counterexample: a cycle of 2n+2 hosts (h0..h(2n+1)) with
+/// an extra host h(2n+2) attached to h(n+1). SPANNINGTREE from h0 loses half
+/// of HC when h1 fails after Broadcast.
+StatusOr<Graph> MakeTheorem44Instance(uint32_t n);
+
+/// The number of hosts used by the paper's Gnutella crawl.
+inline constexpr uint32_t kGnutellaCrawlSize = 39046;
+
+}  // namespace validity::topology
+
+#endif  // VALIDITY_TOPOLOGY_GENERATORS_H_

@@ -1,0 +1,67 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+
+namespace validity::topology {
+
+Graph::Graph(uint32_t num_hosts) : adj_(num_hosts) {}
+
+Status Graph::AddEdge(HostId a, HostId b) {
+  if (a >= adj_.size() || b >= adj_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (a == b) return Status::InvalidArgument("self-loop rejected");
+  if (HasEdge(a, b)) return Status::InvalidArgument("duplicate edge rejected");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+  return Status::Ok();
+}
+
+bool Graph::HasEdge(HostId a, HostId b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  // Scan the smaller adjacency list.
+  const auto& list = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  HostId needle = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(list.begin(), list.end(), needle) != list.end();
+}
+
+double Graph::AverageDegree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adj_.size());
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t max_deg = 0;
+  for (const auto& list : adj_) {
+    max_deg = std::max(max_deg, static_cast<uint32_t>(list.size()));
+  }
+  return max_deg;
+}
+
+Status Graph::Validate() const {
+  uint64_t directed = 0;
+  for (HostId a = 0; a < adj_.size(); ++a) {
+    for (HostId b : adj_[a]) {
+      if (b >= adj_.size()) return Status::Internal("neighbor out of range");
+      if (b == a) return Status::Internal("self-loop present");
+      const auto& back = adj_[b];
+      if (std::find(back.begin(), back.end(), a) == back.end()) {
+        return Status::Internal("asymmetric adjacency");
+      }
+      ++directed;
+    }
+    std::vector<HostId> sorted(adj_[a].begin(), adj_[a].end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::Internal("duplicate edge present");
+    }
+  }
+  if (directed != 2 * num_edges_) {
+    return Status::Internal("edge count inconsistent with adjacency");
+  }
+  return Status::Ok();
+}
+
+}  // namespace validity::topology

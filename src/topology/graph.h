@@ -1,0 +1,64 @@
+// Undirected graph G = (H, E): the static initial topology of a network.
+//
+// Paper §3.1: hosts communicate over an undirected graph whose edges are
+// symmetric neighbor relations; messages travel only between neighbors.
+// Dynamism (host failure/join) is layered on top by sim::Network — a Graph
+// itself is immutable once built.
+
+#ifndef VALIDITY_TOPOLOGY_GRAPH_H_
+#define VALIDITY_TOPOLOGY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace validity::topology {
+
+/// Incrementally built, then frozen, undirected simple graph.
+class Graph {
+ public:
+  /// An empty graph with `num_hosts` isolated hosts.
+  explicit Graph(uint32_t num_hosts);
+
+  /// Adds the undirected edge {a, b}. Self-loops and duplicate edges are
+  /// rejected with kInvalidArgument. O(deg) duplicate check.
+  Status AddEdge(HostId a, HostId b);
+
+  /// True if {a, b} is an edge.
+  bool HasEdge(HostId a, HostId b) const;
+
+  uint32_t num_hosts() const { return static_cast<uint32_t>(adj_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Neighbors of `h` in insertion order.
+  std::span<const HostId> Neighbors(HostId h) const {
+    VALIDITY_DCHECK(h < adj_.size());
+    return adj_[h];
+  }
+
+  uint32_t Degree(HostId h) const {
+    VALIDITY_DCHECK(h < adj_.size());
+    return static_cast<uint32_t>(adj_[h].size());
+  }
+
+  /// 2|E| / |H| (0 for an empty graph).
+  double AverageDegree() const;
+
+  /// Maximum degree over all hosts.
+  uint32_t MaxDegree() const;
+
+  /// Verifies internal symmetry/simplicity invariants (used by tests and
+  /// after deserialization).
+  Status Validate() const;
+
+ private:
+  std::vector<std::vector<HostId>> adj_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace validity::topology
+
+#endif  // VALIDITY_TOPOLOGY_GRAPH_H_

@@ -1,0 +1,181 @@
+// ALLREPORT / RANDOMIZEDREPORT tests: the Theorem 4.3 construction
+// (direct delivery always satisfies SSV), reverse-path relaying, and the
+// §4.3 sampling estimator.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "protocols/all_report.h"
+#include "protocols/oracle.h"
+#include "protocols/randomized_report.h"
+#include "sim/churn.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+QueryContext MakeContext(AggregateKind agg, const std::vector<double>* values,
+                         double d_hat) {
+  QueryContext ctx;
+  ctx.aggregate = agg;
+  ctx.values = values;
+  ctx.d_hat = d_hat;
+  return ctx;
+}
+
+TEST(AllReportTest, FailureFreeExactBothRoutings) {
+  topology::Graph g = *topology::MakeRandom(300, 5.0, 51);
+  std::vector<double> values = core::MakeZipfValues(300, 51);
+  std::vector<HostId> all(300);
+  for (HostId h = 0; h < 300; ++h) all[h] = h;
+  for (ReportRouting routing :
+       {ReportRouting::kDirect, ReportRouting::kReversePath}) {
+    for (AggregateKind agg : {AggregateKind::kCount, AggregateKind::kSum,
+                              AggregateKind::kMin, AggregateKind::kAverage}) {
+      sim::Simulator sim(g, sim::SimOptions{});
+      AllReportOptions opts;
+      opts.routing = routing;
+      AllReportProtocol proto(&sim, MakeContext(agg, &values, 10), opts);
+      sim.AttachProgram(&proto);
+      proto.Start(0);
+      sim.Run();
+      ASSERT_TRUE(proto.result().declared);
+      EXPECT_DOUBLE_EQ(proto.result().value, ExactAggregate(agg, values, all))
+          << AggregateKindName(agg) << " routing "
+          << static_cast<int>(routing);
+      EXPECT_EQ(proto.reports_collected(), 300u);
+    }
+  }
+}
+
+TEST(AllReportTest, DirectDeliverySatisfiesSsvUnderChurn) {
+  // The Theorem 4.3 argument: every host in HC receives the flood along its
+  // stable path and its direct report cannot be lost.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    topology::Graph g = *topology::MakeGnutellaLike(500, seed);
+    std::vector<double> values = core::MakeZipfValues(500, seed);
+    double d_hat = 14;
+    sim::Simulator sim(g, sim::SimOptions{});
+    Rng churn_rng(seed);
+    sim::ScheduleChurn(
+        &sim, sim::MakeUniformChurn(500, 0, 150, 0.0, 2 * d_hat, &churn_rng));
+    AllReportProtocol proto(
+        &sim, MakeContext(AggregateKind::kCount, &values, d_hat),
+        AllReportOptions{ReportRouting::kDirect});
+    sim.AttachProgram(&proto);
+    proto.Start(0);
+    sim.Run();
+    OracleReport oracle =
+        ComputeOracle(sim, 0, 0, 2 * d_hat, AggregateKind::kCount, values);
+    ASSERT_TRUE(proto.result().declared);
+    EXPECT_TRUE(oracle.Contains(proto.result().value))
+        << "seed " << seed << " value " << proto.result().value << " in ["
+        << oracle.q_low << "," << oracle.q_high << "]";
+  }
+}
+
+TEST(AllReportTest, ReversePathCostsScaleWithDepth) {
+  // On a chain, host at depth d pays d messages to relay its report:
+  // total = sum d = n(n-1)/2, plus the n-1 broadcast forwards ... the
+  // quadratic term is what makes Direct Delivery expensive (paper §4.4).
+  constexpr uint32_t n = 20;
+  topology::Graph g = *topology::MakeChain(n);
+  std::vector<double> values(n, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  AllReportProtocol proto(
+      &sim, MakeContext(AggregateKind::kCount, &values, n + 1),
+      AllReportOptions{ReportRouting::kReversePath});
+  sim.AttachProgram(&proto);
+  proto.Start(0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(proto.result().value, n);
+  // Chain flood: end hosts send 1 forward, interior hosts 2 (every host
+  // forwards to all neighbors) = 2n - 2 messages.
+  uint64_t broadcast_msgs = 2 * n - 2;
+  uint64_t report_msgs = n * (n - 1) / 2;  // host at depth d relays d hops
+  EXPECT_EQ(sim.metrics().messages_sent(), broadcast_msgs + report_msgs);
+}
+
+TEST(AllReportTest, DirectCostsLinearInHosts) {
+  constexpr uint32_t n = 20;
+  topology::Graph g = *topology::MakeChain(n);
+  std::vector<double> values(n, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  AllReportProtocol proto(&sim,
+                          MakeContext(AggregateKind::kCount, &values, n + 1),
+                          AllReportOptions{ReportRouting::kDirect});
+  sim.AttachProgram(&proto);
+  proto.Start(0);
+  sim.Run();
+  uint64_t broadcast_msgs = 2 * n - 2;
+  EXPECT_EQ(sim.metrics().messages_sent(), broadcast_msgs + (n - 1));
+}
+
+TEST(RandomizedReportTest, DerivesChernoffProbability) {
+  topology::Graph g = *topology::MakeRandom(1000, 5.0, 53);
+  std::vector<double> values(1000, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RandomizedReportOptions opts;
+  opts.epsilon = 0.2;
+  opts.zeta = 0.1;
+  opts.n_estimate = 1000;
+  RandomizedReportProtocol proto(
+      &sim, MakeContext(AggregateKind::kCount, &values, 10), opts);
+  double expected_p = 4.0 / (0.2 * 0.2 * 1000) * std::log(2.0 / 0.1);
+  EXPECT_NEAR(proto.report_probability(), expected_p, 1e-12);
+}
+
+TEST(RandomizedReportTest, EstimatesCountWithinEpsilonBand) {
+  // eps = 0.3, zeta = 0.05: p ~ 0.164 at n = 1000; the estimate must land
+  // within the (loose) 2*eps band around n with overwhelming probability.
+  topology::Graph g = *topology::MakeRandom(1000, 5.0, 54);
+  std::vector<double> values(1000, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RandomizedReportOptions opts;
+  opts.epsilon = 0.3;
+  opts.zeta = 0.05;
+  opts.n_estimate = 1000;
+  opts.coin_seed = 4242;
+  RandomizedReportProtocol proto(
+      &sim, MakeContext(AggregateKind::kCount, &values, 10), opts);
+  sim.AttachProgram(&proto);
+  proto.Start(0);
+  sim.Run();
+  ASSERT_TRUE(proto.result().declared);
+  EXPECT_NEAR(proto.result().value, 1000, 2 * 0.3 * 1000);
+  // Sampling saves messages: ~p*n reports instead of n.
+  EXPECT_LT(proto.reports_collected(), 400u);
+}
+
+TEST(RandomizedReportTest, SumEstimateScalesSampleSum) {
+  topology::Graph g = *topology::MakeRandom(2000, 5.0, 55);
+  std::vector<double> values = core::MakeZipfValues(2000, 55);
+  double truth = 0;
+  for (double v : values) truth += v;
+  sim::Simulator sim(g, sim::SimOptions{});
+  RandomizedReportOptions opts;
+  opts.p_override = 0.25;
+  RandomizedReportProtocol proto(
+      &sim, MakeContext(AggregateKind::kSum, &values, 10), opts);
+  sim.AttachProgram(&proto);
+  proto.Start(0);
+  sim.Run();
+  ASSERT_TRUE(proto.result().declared);
+  EXPECT_NEAR(proto.result().value / truth, 1.0, 0.35);
+}
+
+TEST(RandomizedReportTest, RejectsNonCountAggregates) {
+  topology::Graph g = *topology::MakeChain(3);
+  std::vector<double> values(3, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  EXPECT_DEATH(
+      {
+        RandomizedReportProtocol proto(
+            &sim, MakeContext(AggregateKind::kMin, &values, 4),
+            RandomizedReportOptions{});
+      },
+      "count");
+}
+
+}  // namespace
+}  // namespace validity::protocols

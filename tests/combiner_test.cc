@@ -1,0 +1,153 @@
+// Tests for PartialAggregate: initialization, combine semantics (semilattice
+// laws per kind), equality, estimation, and identity elements.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "protocols/combiner.h"
+
+namespace validity::protocols {
+namespace {
+
+sketch::FmParams Params() { return sketch::FmParams{8}; }
+
+PartialAggregate Make(CombinerKind kind, HostId h, double value,
+                      uint64_t seed = 1) {
+  Rng rng(seed + h);
+  return PartialAggregate::Initial(kind, h, value, Params(), &rng);
+}
+
+TEST(CombinerTest, CombinerForMapsAggregates) {
+  EXPECT_EQ(CombinerFor(AggregateKind::kMin, false), CombinerKind::kMin);
+  EXPECT_EQ(CombinerFor(AggregateKind::kMax, false), CombinerKind::kMax);
+  EXPECT_EQ(CombinerFor(AggregateKind::kCount, false), CombinerKind::kFmCount);
+  EXPECT_EQ(CombinerFor(AggregateKind::kSum, false), CombinerKind::kFmSum);
+  EXPECT_EQ(CombinerFor(AggregateKind::kAverage, false),
+            CombinerKind::kFmAverage);
+  EXPECT_EQ(CombinerFor(AggregateKind::kCount, true),
+            CombinerKind::kUnionCount);
+  EXPECT_EQ(CombinerFor(AggregateKind::kSum, true), CombinerKind::kUnionSum);
+  EXPECT_EQ(CombinerFor(AggregateKind::kAverage, true),
+            CombinerKind::kUnionAverage);
+}
+
+TEST(CombinerTest, MinMaxCombine) {
+  PartialAggregate lo = Make(CombinerKind::kMin, 0, 5);
+  PartialAggregate hi = Make(CombinerKind::kMin, 1, 9);
+  EXPECT_FALSE(lo.CombineFrom(hi)) << "9 does not lower a min of 5";
+  EXPECT_TRUE(hi.CombineFrom(lo));
+  EXPECT_DOUBLE_EQ(hi.Estimate(), 5);
+
+  PartialAggregate mx = Make(CombinerKind::kMax, 0, 5);
+  EXPECT_TRUE(mx.CombineFrom(Make(CombinerKind::kMax, 1, 9)));
+  EXPECT_DOUBLE_EQ(mx.Estimate(), 9);
+  EXPECT_FALSE(mx.CombineFrom(Make(CombinerKind::kMax, 2, 7)));
+}
+
+TEST(CombinerTest, UnionCountIsExactAndDuplicateInsensitive) {
+  PartialAggregate a = Make(CombinerKind::kUnionCount, 0, 1);
+  PartialAggregate b = Make(CombinerKind::kUnionCount, 1, 1);
+  PartialAggregate c = Make(CombinerKind::kUnionCount, 2, 1);
+  EXPECT_TRUE(a.CombineFrom(b));
+  EXPECT_TRUE(a.CombineFrom(c));
+  EXPECT_FALSE(a.CombineFrom(b)) << "duplicate merge must be a no-op";
+  EXPECT_DOUBLE_EQ(a.Estimate(), 3);
+}
+
+TEST(CombinerTest, UnionSumAndAverageAreExact) {
+  PartialAggregate sum = Make(CombinerKind::kUnionSum, 0, 10);
+  sum.CombineFrom(Make(CombinerKind::kUnionSum, 1, 20));
+  sum.CombineFrom(Make(CombinerKind::kUnionSum, 2, 30));
+  EXPECT_DOUBLE_EQ(sum.Estimate(), 60);
+
+  PartialAggregate avg = Make(CombinerKind::kUnionAverage, 0, 10);
+  avg.CombineFrom(Make(CombinerKind::kUnionAverage, 1, 20));
+  EXPECT_DOUBLE_EQ(avg.Estimate(), 15);
+}
+
+TEST(CombinerTest, FmCountEstimatesSetSize) {
+  // 256 hosts' one-element sketches OR-ed together.
+  PartialAggregate acc = Make(CombinerKind::kFmCount, 0, 1);
+  for (HostId h = 1; h < 256; ++h) {
+    acc.CombineFrom(Make(CombinerKind::kFmCount, h, 1));
+  }
+  double est = acc.Estimate();
+  EXPECT_GT(est, 256 / 3.0);
+  EXPECT_LT(est, 256 * 3.0);
+}
+
+TEST(CombinerTest, FmAverageCombinesBothSketches) {
+  PartialAggregate acc = Make(CombinerKind::kFmAverage, 0, 100);
+  for (HostId h = 1; h < 128; ++h) {
+    acc.CombineFrom(Make(CombinerKind::kFmAverage, h, 100));
+  }
+  // All values 100 => average estimate should be within sketch error of 100.
+  double est = acc.Estimate();
+  EXPECT_GT(est, 100 / 4.0);
+  EXPECT_LT(est, 100 * 4.0);
+}
+
+TEST(CombinerTest, SameAsIsStructural) {
+  PartialAggregate a = Make(CombinerKind::kUnionSum, 0, 5);
+  PartialAggregate b = Make(CombinerKind::kUnionSum, 0, 5);
+  EXPECT_TRUE(a.SameAs(b));
+  b.CombineFrom(Make(CombinerKind::kUnionSum, 1, 6));
+  EXPECT_FALSE(a.SameAs(b));
+  a.CombineFrom(Make(CombinerKind::kUnionSum, 1, 6));
+  EXPECT_TRUE(a.SameAs(b));
+}
+
+TEST(CombinerTest, IdentityIsNeutral) {
+  for (CombinerKind kind :
+       {CombinerKind::kMin, CombinerKind::kMax, CombinerKind::kFmCount,
+        CombinerKind::kFmSum, CombinerKind::kFmAverage,
+        CombinerKind::kUnionCount, CombinerKind::kUnionSum,
+        CombinerKind::kUnionAverage}) {
+    PartialAggregate value = Make(kind, 3, 42);
+    PartialAggregate combined = value;
+    EXPECT_FALSE(
+        combined.CombineFrom(PartialAggregate::Identity(kind, Params())))
+        << CombinerKindName(kind);
+    EXPECT_TRUE(combined.SameAs(value)) << CombinerKindName(kind);
+
+    PartialAggregate id = PartialAggregate::Identity(kind, Params());
+    id.CombineFrom(value);
+    EXPECT_DOUBLE_EQ(id.Estimate(), value.Estimate())
+        << CombinerKindName(kind);
+  }
+}
+
+TEST(CombinerTest, CombineIsIdempotentAndCommutativeAcrossKinds) {
+  for (CombinerKind kind :
+       {CombinerKind::kMin, CombinerKind::kMax, CombinerKind::kFmCount,
+        CombinerKind::kFmSum, CombinerKind::kFmAverage,
+        CombinerKind::kUnionCount, CombinerKind::kUnionSum}) {
+    PartialAggregate a = Make(kind, 0, 17);
+    PartialAggregate b = Make(kind, 1, 99);
+    PartialAggregate ab = a;
+    ab.CombineFrom(b);
+    PartialAggregate ba = b;
+    ba.CombineFrom(a);
+    EXPECT_TRUE(ab.SameAs(ba)) << CombinerKindName(kind);
+    PartialAggregate twice = ab;
+    EXPECT_FALSE(twice.CombineFrom(ab)) << CombinerKindName(kind);
+    EXPECT_FALSE(twice.CombineFrom(a)) << CombinerKindName(kind);
+    EXPECT_FALSE(twice.CombineFrom(b)) << CombinerKindName(kind);
+  }
+}
+
+TEST(CombinerTest, SizeBytesScalesWithContent) {
+  EXPECT_EQ(Make(CombinerKind::kMin, 0, 1).SizeBytes(), sizeof(double));
+  EXPECT_EQ(Make(CombinerKind::kFmCount, 0, 1).SizeBytes(),
+            8 * sizeof(uint64_t));
+  EXPECT_EQ(Make(CombinerKind::kFmAverage, 0, 1).SizeBytes(),
+            2 * 8 * sizeof(uint64_t));
+  PartialAggregate u = Make(CombinerKind::kUnionSum, 0, 1);
+  size_t one = u.SizeBytes();
+  u.CombineFrom(Make(CombinerKind::kUnionSum, 1, 2));
+  EXPECT_EQ(u.SizeBytes(), 2 * one);
+}
+
+}  // namespace
+}  // namespace validity::protocols

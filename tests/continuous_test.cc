@@ -1,0 +1,138 @@
+// Continuous Single-Site Validity tests (§4.2): windowed WILDFIRE rounds on
+// a churning network, each within its per-window oracle interval.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "protocols/continuous.h"
+#include "protocols/oracle.h"
+#include "sim/churn.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+QueryContext MakeContext(AggregateKind agg, CombinerKind combiner,
+                         const std::vector<double>* values, double d_hat) {
+  QueryContext ctx;
+  ctx.aggregate = agg;
+  ctx.combiner = combiner;
+  ctx.values = values;
+  ctx.d_hat = d_hat;
+  ctx.fm.num_vectors = 16;
+  return ctx;
+}
+
+TEST(ContinuousTest, RejectsWindowShorterThanARound) {
+  topology::Graph g = *topology::MakeChain(4);
+  std::vector<double> values(4, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  ContinuousWildfire cont(
+      &sim,
+      MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount, &values, 5),
+      ContinuousOptions{/*window=*/8.0, /*num_windows=*/2});
+  EXPECT_EQ(cont.Start(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinuousTest, StaticNetworkEveryWindowExact) {
+  topology::Graph g = *topology::MakeRandom(200, 5.0, 71);
+  std::vector<double> values(200, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  ContinuousWildfire cont(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, 10),
+      ContinuousOptions{/*window=*/25.0, /*num_windows=*/4});
+  ASSERT_TRUE(cont.Start(0).ok());
+  sim.Run();
+  ASSERT_EQ(cont.results().size(), 4u);
+  for (const auto& w : cont.results()) {
+    ASSERT_TRUE(w.declared);
+    EXPECT_DOUBLE_EQ(w.value, 200);
+  }
+}
+
+TEST(ContinuousTest, WindowsTrackShrinkingNetwork) {
+  // Continuous churn: every window's count must fall within that window's
+  // oracle interval, and the sequence must trend downward.
+  topology::Graph g = *topology::MakeGnutellaLike(600, 72);
+  std::vector<double> values(600, 1.0);
+  const double d_hat = 12;
+  const double window = 30;
+  const uint32_t num_windows = 5;
+
+  sim::Simulator sim(g, sim::SimOptions{});
+  Rng churn_rng(72);
+  // Remove 300 hosts spread over the whole run.
+  sim::ScheduleChurn(&sim, sim::MakeUniformChurn(600, 0, 300, 0.0,
+                                                 window * num_windows,
+                                                 &churn_rng));
+  ContinuousWildfire cont(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, d_hat),
+      ContinuousOptions{window, num_windows});
+  ASSERT_TRUE(cont.Start(0).ok());
+  sim.Run();
+
+  ASSERT_EQ(cont.results().size(), num_windows);
+  double previous = 1e18;
+  for (uint32_t w = 0; w < num_windows; ++w) {
+    const WindowResult& res = cont.results()[w];
+    ASSERT_TRUE(res.declared) << "window " << w;
+    SimTime begin = res.issued_at;
+    SimTime end = begin + 2 * d_hat;
+    OracleReport oracle =
+        ComputeOracle(sim, 0, begin, end, AggregateKind::kCount, values);
+    EXPECT_TRUE(oracle.Contains(res.value))
+        << "window " << w << ": " << res.value << " not in ["
+        << oracle.q_low << ", " << oracle.q_high << "]";
+    EXPECT_LE(res.value, previous + 1e-9) << "churn only removes hosts";
+    previous = res.value;
+  }
+  EXPECT_LT(cont.results().back().value, cont.results().front().value);
+}
+
+TEST(ContinuousTest, StaleMessagesFromPreviousRoundAreIgnored) {
+  // Back-to-back windows (W exactly one round): stragglers from round k
+  // arriving during round k+1 must not corrupt it. Exactness of every
+  // window is the witness.
+  topology::Graph g = *topology::MakeGrid(8);
+  std::vector<double> values(g.num_hosts(), 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  double d_hat = 8;
+  ContinuousWildfire cont(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, d_hat),
+      ContinuousOptions{/*window=*/2 * d_hat, /*num_windows=*/3});
+  ASSERT_TRUE(cont.Start(0).ok());
+  sim.Run();
+  for (const auto& w : cont.results()) {
+    ASSERT_TRUE(w.declared);
+    EXPECT_DOUBLE_EQ(w.value, g.num_hosts());
+  }
+}
+
+TEST(ContinuousTest, FreshSketchesPerWindowDecorrelateEstimates) {
+  // FM-based rounds must not reuse coin flips across windows: on a static
+  // network the per-window estimates differ (almost surely) while staying
+  // in a sane band.
+  topology::Graph g = *topology::MakeRandom(500, 5.0, 73);
+  std::vector<double> values(500, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  ContinuousWildfire cont(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kFmCount,
+                        &values, 10),
+      ContinuousOptions{/*window=*/25.0, /*num_windows=*/3});
+  ASSERT_TRUE(cont.Start(0).ok());
+  sim.Run();
+  std::set<double> distinct;
+  for (const auto& w : cont.results()) {
+    ASSERT_TRUE(w.declared);
+    EXPECT_GT(w.value, 500 / 4.0);
+    EXPECT_LT(w.value, 500 * 4.0);
+    distinct.insert(w.value);
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace validity::protocols

@@ -1,0 +1,247 @@
+// Edge cases and theory demonstrations: the Theorem 4.1 / 4.2 impossibility
+// constructions replayed as executable scenarios, degenerate networks,
+// runaway-protocol guards, tracing, and small-world topology properties.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "protocols/continuous.h"
+#include "protocols/oracle.h"
+#include "protocols/wildfire.h"
+#include "sim/churn.h"
+#include "sim/trace.h"
+#include "topology/algorithms.h"
+#include "topology/generators.h"
+
+namespace validity {
+namespace {
+
+using protocols::CombinerKind;
+using protocols::QueryContext;
+using protocols::WildfireProtocol;
+
+QueryContext MakeContext(AggregateKind agg, CombinerKind combiner,
+                         const std::vector<double>* values, double d_hat) {
+  QueryContext ctx;
+  ctx.aggregate = agg;
+  ctx.combiner = combiner;
+  ctx.values = values;
+  ctx.d_hat = d_hat;
+  return ctx;
+}
+
+// ---- Theorem 4.1: Snapshot Validity is unattainable ---------------------
+//
+// A chain h0..hk is queried; at time t a fresh chain of hosts joins at h1.
+// No algorithm can reflect the joiners' values "as of time t" — here we
+// show the executable consequence: the joiners are invisible to the
+// completed query even though they were present from t onward, so no
+// returned value corresponds to any network snapshot after t.
+
+TEST(TheoremDemos, SnapshotValidityCounterexample) {
+  topology::Graph g = *topology::MakeChain(5);
+  std::vector<double> values(10, 1.0);  // room for joiners
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(&sim, MakeContext(AggregateKind::kCount,
+                                        CombinerKind::kUnionCount, &values,
+                                        12));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  // At t = 20 (mid-query: horizon 24), five hosts join in a chain at h1.
+  sim.ScheduleAt(20.0, [&sim] {
+    HostId anchor = 1;
+    for (int i = 0; i < 5; ++i) {
+      auto id = sim.AddHost({anchor});
+      ASSERT_TRUE(id.ok());
+      anchor = *id;
+    }
+  });
+  sim.Run();
+  ASSERT_TRUE(wf.result().declared);
+  // Any snapshot taken in [20, 24] has 10 hosts; the query answers 5:
+  // v != q(H_t) for every t in the latter part of the interval, and the
+  // pre-join snapshots are equally unrepresentable for queries that
+  // complete after joins in general.
+  EXPECT_DOUBLE_EQ(wf.result().value, 5);
+  EXPECT_EQ(sim.num_hosts(), 10u);
+}
+
+// ---- Theorem 4.2: Interval Validity is unattainable ----------------------
+//
+// Host h is 1-connected to hq through cut vertex h'; h' fails during the
+// broadcast, before the query reaches it. h stays alive through the whole
+// interval — h is in HI (and HU) — yet no algorithm can include its value.
+// Single-Site Validity accepts this answer because h has no *stable path*:
+// h is outside HC.
+
+TEST(TheoremDemos, IntervalValidityCounterexampleAndSsvResolution) {
+  // Chain: hq=0 - 1(h') - 2(h).
+  topology::Graph g = *topology::MakeChain(3);
+  std::vector<double> values{1, 1, 1};
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(&sim, MakeContext(AggregateKind::kCount,
+                                        CombinerKind::kUnionCount, &values, 4));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.ScheduleFailure(0.5, 1);  // h' dies before the query crosses it
+  sim.Run();
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_DOUBLE_EQ(wf.result().value, 1);  // only hq itself
+
+  // Interval Validity would demand v >= |HI| = 2 (hosts 0 and 2 lived the
+  // whole interval) — impossible. The SSV oracle instead puts host 2
+  // outside HC, so v = 1 is valid.
+  protocols::OracleReport oracle = protocols::ComputeOracle(
+      sim, 0, 0, 8, AggregateKind::kCount, values);
+  EXPECT_EQ(oracle.hc.size(), 1u);
+  EXPECT_TRUE(oracle.Contains(wf.result().value));
+  EXPECT_TRUE(sim.AliveThroughout(2, 0, 8)) << "h was alive throughout";
+}
+
+// ---- Degenerate networks -------------------------------------------------
+
+TEST(EdgeCases, SingleHostNetwork) {
+  topology::Graph g(1);
+  std::vector<double> values{42};
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kSum, CombinerKind::kUnionSum, &values,
+                        1));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_DOUBLE_EQ(wf.result().value, 42);
+  EXPECT_EQ(sim.metrics().messages_sent(), 0u);
+}
+
+TEST(EdgeCases, QueryingHostWithAllNeighborsDead) {
+  topology::Graph g = *topology::MakeStar(4);
+  std::vector<double> values{7, 1, 2, 3};
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.FailHost(1);
+  sim.FailHost(2);
+  sim.FailHost(3);
+  WildfireProtocol wf(&sim, MakeContext(AggregateKind::kMax, CombinerKind::kMax,
+                                        &values, 2));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(wf.result().value, 7);
+}
+
+TEST(EdgeCases, MaxEventsGuardTripsOnRunawayLoad) {
+  topology::Graph g = *topology::MakeCycle(3);
+  sim::SimOptions opts;
+  opts.max_events = 100;
+  sim::Simulator sim(g, opts);
+  // A self-perpetuating event chain.
+  std::function<void()> spin = [&] { sim.ScheduleAfter(1.0, spin); };
+  sim.ScheduleAfter(1.0, spin);
+  EXPECT_DEATH(sim.Run(), "event budget");
+}
+
+TEST(EdgeCases, ContinuousQuerySurvivesQuerierDeathGracefully) {
+  topology::Graph g = *topology::MakeRandom(100, 5.0, 71);
+  std::vector<double> values(100, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  protocols::ContinuousWildfire cont(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, 8),
+      protocols::ContinuousOptions{/*window=*/20.0, /*num_windows=*/4});
+  ASSERT_TRUE(cont.Start(0).ok());
+  sim.ScheduleFailure(45.0, 0);  // the monitor dies during window 2
+  sim.Run();
+  EXPECT_TRUE(cont.results()[0].declared);
+  EXPECT_TRUE(cont.results()[1].declared);
+  EXPECT_FALSE(cont.results()[3].declared) << "no ghost answers after death";
+}
+
+// ---- Tracing --------------------------------------------------------------
+
+TEST(TraceTest, RecordsSendsDeliveriesAndFailures) {
+  topology::Graph g = *topology::MakeChain(3);
+  std::vector<double> values{1, 1, 1};
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim::TraceRecorder trace;
+  sim.AttachTrace(&trace);
+  WildfireProtocol wf(&sim, MakeContext(AggregateKind::kMax, CombinerKind::kMax,
+                                        &values, 3));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.ScheduleFailure(3.5, 2);
+  sim.Run();
+
+  EXPECT_GT(trace.CountOf(sim::TraceEventKind::kSend), 0u);
+  EXPECT_GT(trace.CountOf(sim::TraceEventKind::kDeliver), 0u);
+  EXPECT_EQ(trace.CountOf(sim::TraceEventKind::kFail), 1u);
+  // Sends equal the metric; deliveries + drops account for each unicast.
+  EXPECT_EQ(trace.CountOf(sim::TraceEventKind::kSend),
+            sim.metrics().messages_sent());
+  auto to_host1 = trace.Filter([](const sim::TraceEvent& e) {
+    return e.kind == sim::TraceEventKind::kDeliver && e.dst == 1;
+  });
+  EXPECT_EQ(to_host1.size(), sim.metrics().ProcessedBy(1));
+
+  std::ostringstream dump;
+  trace.Dump(dump);
+  EXPECT_NE(dump.str().find("fail"), std::string::npos);
+}
+
+TEST(TraceTest, CapacityBoundsMemory) {
+  sim::TraceRecorder trace(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(sim::TraceEvent{sim::TraceEventKind::kSend, 0.0, 0, 1, 0});
+  }
+  EXPECT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.overflowed(), 6u);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+// ---- Small-world generator -------------------------------------------------
+
+TEST(SmallWorldTest, LatticeAndRewiredProperties) {
+  // beta = 0: pure ring lattice, diameter ~ n/k.
+  topology::Graph lattice = *topology::MakeSmallWorld(200, 4, 0.0, 81);
+  EXPECT_TRUE(lattice.Validate().ok());
+  EXPECT_EQ(topology::ConnectedComponents(lattice).count, 1u);
+  uint32_t lattice_diameter = topology::ExactDiameter(lattice);
+  EXPECT_GE(lattice_diameter, 40u);
+
+  // beta = 0.2: a few shortcuts collapse the diameter (the small-world
+  // effect the paper's §3.2 relies on).
+  topology::Graph rewired = *topology::MakeSmallWorld(200, 4, 0.2, 81);
+  EXPECT_TRUE(rewired.Validate().ok());
+  EXPECT_EQ(topology::ConnectedComponents(rewired).count, 1u);
+  uint32_t rewired_diameter = topology::ExactDiameter(rewired);
+  EXPECT_LT(rewired_diameter, lattice_diameter / 2);
+
+  EXPECT_FALSE(topology::MakeSmallWorld(100, 3, 0.1, 1).ok());  // odd k
+  EXPECT_FALSE(topology::MakeSmallWorld(100, 4, 1.5, 1).ok());  // bad beta
+}
+
+TEST(SmallWorldTest, WildfireValidOnSmallWorld) {
+  topology::Graph g = *topology::MakeSmallWorld(400, 6, 0.1, 82);
+  std::vector<double> values(400, 1.0);
+  Rng diam_rng(1);
+  double d_hat = 2.0 * topology::EstimateDiameter(g, 3, &diam_rng) + 4;
+  sim::Simulator sim(g, sim::SimOptions{});
+  Rng churn_rng(82);
+  sim::ScheduleChurn(&sim, sim::MakeUniformChurn(400, 0, 80, 0.0,
+                                                 2 * d_hat, &churn_rng));
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, d_hat));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  protocols::OracleReport oracle = protocols::ComputeOracle(
+      sim, 0, 0, 2 * d_hat, AggregateKind::kCount, values);
+  EXPECT_TRUE(oracle.Contains(wf.result().value));
+}
+
+}  // namespace
+}  // namespace validity

@@ -1,0 +1,137 @@
+// Gossip (push-sum) baseline tests: mass conservation, convergence on a
+// static network, eventual-consistency-only semantics under churn (the
+// §2.2 contrast with Single-Site Validity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "protocols/gossip.h"
+#include "protocols/oracle.h"
+#include "sim/churn.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+QueryContext MakeContext(AggregateKind agg, const std::vector<double>* values,
+                         double d_hat) {
+  QueryContext ctx;
+  ctx.aggregate = agg;
+  ctx.values = values;
+  ctx.d_hat = d_hat;
+  return ctx;
+}
+
+ProtocolRunResult RunGossip(const topology::Graph& g, AggregateKind agg,
+                            const std::vector<double>& values, uint32_t rounds,
+                            const std::vector<sim::ChurnEvent>& churn = {}) {
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim::ScheduleChurn(&sim, churn);
+  GossipOptions opts;
+  opts.rounds = rounds;
+  GossipProtocol gossip(&sim, MakeContext(agg, &values, 12), opts);
+  sim.AttachProgram(&gossip);
+  gossip.Start(0);
+  sim.Run();
+  return gossip.result();
+}
+
+TEST(GossipTest, PushSumConvergesToAverage) {
+  topology::Graph g = *topology::MakeRandom(300, 6.0, 61);
+  std::vector<double> values = core::MakeZipfValues(300, 61);
+  double truth = 0;
+  for (double v : values) truth += v;
+  truth /= 300;
+  ProtocolRunResult r = RunGossip(g, AggregateKind::kAverage, values, 60);
+  ASSERT_TRUE(r.declared);
+  EXPECT_NEAR(r.value / truth, 1.0, 0.02);
+}
+
+TEST(GossipTest, PushSumConvergesToSumAndCount) {
+  topology::Graph g = *topology::MakeRandom(400, 6.0, 62);
+  std::vector<double> values = core::MakeZipfValues(400, 62);
+  double truth_sum = 0;
+  for (double v : values) truth_sum += v;
+
+  ProtocolRunResult sum = RunGossip(g, AggregateKind::kSum, values, 80);
+  ASSERT_TRUE(sum.declared);
+  EXPECT_NEAR(sum.value / truth_sum, 1.0, 0.05);
+
+  ProtocolRunResult count = RunGossip(g, AggregateKind::kCount, values, 80);
+  ASSERT_TRUE(count.declared);
+  EXPECT_NEAR(count.value / 400.0, 1.0, 0.05);
+}
+
+TEST(GossipTest, ExtremaSpreadEpidemically) {
+  topology::Graph g = *topology::MakeGnutellaLike(500, 63);
+  std::vector<double> values = core::MakeZipfValues(500, 63);
+  double truth = *std::max_element(values.begin(), values.end());
+  ProtocolRunResult r = RunGossip(g, AggregateKind::kMax, values, 60);
+  ASSERT_TRUE(r.declared);
+  EXPECT_DOUBLE_EQ(r.value, truth);
+}
+
+TEST(GossipTest, MoreRoundsTightenTheEstimate) {
+  topology::Graph g = *topology::MakeRandom(500, 6.0, 64);
+  std::vector<double> values(500, 1.0);
+  double err_short = std::fabs(
+      RunGossip(g, AggregateKind::kCount, values, 10).value / 500.0 - 1.0);
+  double err_long = std::fabs(
+      RunGossip(g, AggregateKind::kCount, values, 100).value / 500.0 - 1.0);
+  EXPECT_LT(err_long, err_short);
+  EXPECT_LT(err_long, 0.02);
+}
+
+TEST(GossipTest, ChurnDestroysMassAndValidity) {
+  // The §2.2 point: under churn, a crashing host destroys the (value,
+  // weight) mass it holds; gossip's answer carries no validity interval and
+  // can drift outside the ORACLE bounds with no warning. We run several
+  // churn seeds and require that at least one produces an invalid answer
+  // (deterministic given the fixed seeds).
+  topology::Graph g = *topology::MakeRandom(600, 6.0, 65);
+  std::vector<double> values(600, 1.0);
+  const uint32_t rounds = 60;
+  int invalid = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Simulator sim(g, sim::SimOptions{});
+    Rng churn_rng(seed);
+    sim::ScheduleChurn(
+        &sim, sim::MakeUniformChurn(600, 0, 200, 0.0, rounds, &churn_rng));
+    GossipOptions opts;
+    opts.rounds = rounds;
+    GossipProtocol gossip(&sim, MakeContext(AggregateKind::kCount, &values, 12),
+                          opts);
+    sim.AttachProgram(&gossip);
+    gossip.Start(0);
+    sim.Run();
+    OracleReport oracle = ComputeOracle(sim, 0, 0, rounds + 2,
+                                        AggregateKind::kCount, values);
+    if (!oracle.Contains(gossip.result().value)) ++invalid;
+  }
+  EXPECT_GT(invalid, 0)
+      << "gossip offered validity under churn it cannot guarantee";
+}
+
+TEST(GossipTest, MessageCostIsRoundsTimesHosts) {
+  topology::Graph g = *topology::MakeRandom(200, 6.0, 66);
+  std::vector<double> values(200, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  GossipOptions opts;
+  opts.rounds = 30;
+  GossipProtocol gossip(&sim, MakeContext(AggregateKind::kCount, &values, 10),
+                        opts);
+  sim.AttachProgram(&gossip);
+  gossip.Start(0);
+  sim.Run();
+  // Activation flood ~2|E| plus one push per host per round.
+  uint64_t flood = 2 * g.num_edges();
+  uint64_t pushes = 30ULL * 200;
+  uint64_t total = sim.metrics().messages_sent();
+  EXPECT_GE(total, pushes);
+  EXPECT_LE(total, flood + pushes + 200);
+}
+
+}  // namespace
+}  // namespace validity::protocols

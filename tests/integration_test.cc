@@ -1,0 +1,171 @@
+// End-to-end integration tests reproducing the paper's headline findings at
+// reduced scale: the Fig. 7/9 validity gap between best-effort protocols
+// and WILDFIRE, and the Fig. 10/11 cost ordering ("the price of validity").
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "topology/generators.h"
+
+namespace validity::core {
+namespace {
+
+TEST(IntegrationTest, MiniFig7CountUnderChurnOnGnutellaLike) {
+  topology::Graph g = *topology::MakeGnutellaLike(1500, 101);
+  QueryEngine engine(&g, MakeZipfValues(1500, 101));
+  QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.exact_combiners = true;  // isolate protocol validity from FM noise
+
+  ChurnSweepOptions opts;
+  opts.trials = 5;
+  // 10% and 30% churn, the paper's "high dynamism" territory.
+  auto cells = RunChurnSweep(engine, spec, 0, StandardLineup(),
+                             {150, 450}, opts);
+
+  double tree_value = 0;
+  double dag3_value = 0;
+  double wf_value = 0;
+  double oracle_low = 0;
+  for (const auto& cell : cells) {
+    if (cell.removals != 450) continue;
+    if (cell.protocol == "spanning-tree") tree_value = cell.value.mean;
+    if (cell.protocol == "dag-k3") dag3_value = cell.value.mean;
+    if (cell.protocol == "wildfire") {
+      wf_value = cell.value.mean;
+      oracle_low = cell.oracle_low.mean;
+    }
+  }
+  // The paper's Fig. 7 ordering: tree <= dag <= wildfire, and wildfire
+  // stays above the oracle lower bound while the tree falls below it.
+  EXPECT_LE(tree_value, dag3_value * 1.02);
+  EXPECT_LE(dag3_value, wf_value * 1.02);
+  EXPECT_GE(wf_value, oracle_low);
+  EXPECT_LT(tree_value, oracle_low)
+      << "best-effort tree should violate validity under 30% churn";
+
+  for (const auto& cell : cells) {
+    if (cell.protocol == "wildfire") {
+      EXPECT_DOUBLE_EQ(cell.within_fraction, 1.0)
+          << "Theorem 5.1 at R=" << cell.removals;
+    }
+  }
+}
+
+TEST(IntegrationTest, MiniFig9SpanningTreeCollapsesOnGrid) {
+  // Deep trees on Grid lose whole subtrees per failure (paper: "a removal
+  // of any interior host causes the non-inclusion of the entire sub-tree").
+  topology::Graph g = *topology::MakeGrid(25);  // 625 hosts, deep tree
+  QueryEngine engine(&g, MakeZipfValues(g.num_hosts(), 102));
+  QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.exact_combiners = true;
+
+  ChurnSweepOptions opts;
+  opts.trials = 5;
+  auto cells = RunChurnSweep(engine, spec, 0, StandardLineup(), {60}, opts);
+
+  double tree_value = 0;
+  double wf_value = 0;
+  double oracle_low = 0;
+  for (const auto& cell : cells) {
+    if (cell.protocol == "spanning-tree") tree_value = cell.value.mean;
+    if (cell.protocol == "wildfire") {
+      wf_value = cell.value.mean;
+      oracle_low = cell.oracle_low.mean;
+    }
+  }
+  EXPECT_GE(wf_value, oracle_low);
+  // ~10% failures on the grid should cost the tree far more than 10% of
+  // hosts (interior cuts), dropping it clearly below the oracle bound.
+  EXPECT_LT(tree_value, oracle_low * 0.98);
+  EXPECT_LT(tree_value, wf_value * 0.9);
+}
+
+TEST(IntegrationTest, PriceOfValidityCostOrdering) {
+  // Fig. 10/11: ST ~ DAG << WILDFIRE-count (~4-5x); WILDFIRE-min close to
+  // (or below) the baselines thanks to early aggregation.
+  topology::Graph g = *topology::MakeRandom(2000, 5.0, 103);
+  QueryEngine engine(&g, MakeZipfValues(2000, 103));
+
+  auto run_messages = [&](protocols::ProtocolKind kind, AggregateKind agg) {
+    QuerySpec spec;
+    spec.aggregate = agg;
+    spec.fm_vectors = 8;
+    RunConfig config;
+    config.protocol = kind;
+    auto result = engine.Run(spec, config, 0);
+    EXPECT_TRUE(result.ok());
+    return static_cast<double>(result->cost.messages);
+  };
+
+  double tree = run_messages(protocols::ProtocolKind::kSpanningTree,
+                             AggregateKind::kCount);
+  double dag = run_messages(protocols::ProtocolKind::kDag,
+                            AggregateKind::kCount);
+  double wf_count = run_messages(protocols::ProtocolKind::kWildfire,
+                                 AggregateKind::kCount);
+  double wf_min = run_messages(protocols::ProtocolKind::kWildfire,
+                               AggregateKind::kMin);
+
+  EXPECT_LT(tree, wf_count);
+  EXPECT_LT(dag, 1.5 * tree) << "DAG roughly overlaps the tree (Fig. 10)";
+  double price = wf_count / tree;
+  EXPECT_GT(price, 1.5) << "validity is not free";
+  EXPECT_LT(price, 12.0) << "but it is a constant factor, not a blowup";
+  EXPECT_LT(wf_min, wf_count)
+      << "early aggregation makes min cheaper than count (Fig. 11)";
+}
+
+TEST(IntegrationTest, WildfireCommCostInsensitiveToDHat) {
+  // Fig. 10: the WILDFIRE curves for different D-hat overlap; Fig. 13(a):
+  // its time cost is exactly 2 * D-hat * delta.
+  topology::Graph g = *topology::MakeRandom(1500, 5.0, 104);
+  QueryEngine engine(&g, MakeZipfValues(1500, 104));
+  uint32_t diameter = engine.EstimatedDiameter();
+
+  std::vector<double> d_hats{static_cast<double>(diameter + 2),
+                             static_cast<double>(2 * diameter),
+                             static_cast<double>(4 * diameter)};
+  std::vector<double> messages;
+  for (double d_hat : d_hats) {
+    QuerySpec spec;
+    spec.aggregate = AggregateKind::kCount;
+    spec.d_hat = d_hat;
+    auto result = engine.Run(spec, RunConfig{}, 0);
+    ASSERT_TRUE(result.ok());
+    messages.push_back(static_cast<double>(result->cost.messages));
+    EXPECT_DOUBLE_EQ(result->cost.declared_at, 2 * d_hat);
+  }
+  EXPECT_NEAR(messages[1] / messages[0], 1.0, 0.02);
+  EXPECT_NEAR(messages[2] / messages[0], 1.0, 0.02);
+}
+
+TEST(IntegrationTest, Fig8SumShapesWithFmSketches) {
+  // Sum under churn with real FM sketches: wildfire's estimate should stay
+  // within the slack-adjusted oracle interval while the tree undercounts.
+  topology::Graph g = *topology::MakeGnutellaLike(1200, 105);
+  QueryEngine engine(&g, MakeZipfValues(1200, 105));
+  QuerySpec spec;
+  spec.aggregate = AggregateKind::kSum;
+  spec.fm_vectors = 32;
+
+  RunConfig wf_config;
+  wf_config.churn_removals = 360;
+  wf_config.churn_seed = 17;
+  auto wf = engine.Run(spec, wf_config, 0);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_TRUE(wf->validity.within_slack)
+      << "value " << wf->value << " vs [" << wf->validity.q_low << ","
+      << wf->validity.q_high << "]";
+
+  RunConfig tree_config = wf_config;
+  tree_config.protocol = protocols::ProtocolKind::kSpanningTree;
+  auto tree = engine.Run(spec, tree_config, 0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LT(tree->value, wf->value);
+}
+
+}  // namespace
+}  // namespace validity::core

@@ -1,0 +1,175 @@
+// ORACLE tests: HC/HU computation on scripted failure scenarios and the
+// validity-interval arithmetic per aggregate (including the greedy extreme
+// averages).
+
+#include <gtest/gtest.h>
+
+#include "protocols/oracle.h"
+#include "sim/simulator.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+TEST(OracleTest, NoFailuresEveryoneStableEverywhere) {
+  topology::Graph g = *topology::MakeRandom(100, 5.0, 61);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.Run();
+  std::vector<double> values(100, 2.0);
+  OracleReport r =
+      ComputeOracle(sim, 0, 0, 10, AggregateKind::kCount, values);
+  EXPECT_EQ(r.hc.size(), 100u);
+  EXPECT_EQ(r.hu.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.q_low, 100);
+  EXPECT_DOUBLE_EQ(r.q_high, 100);
+}
+
+TEST(OracleTest, ChainCutSplitsHcButNotHu) {
+  // 0-1-2-3-4: host 2 dies mid-query. HC = {0,1}; HU = everyone.
+  topology::Graph g = *topology::MakeChain(5);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.ScheduleFailure(3.0, 2);
+  sim.Run();
+  std::vector<double> values{1, 2, 3, 4, 5};
+  OracleReport r = ComputeOracle(sim, 0, 0, 10, AggregateKind::kCount, values);
+  EXPECT_EQ(r.hc, (std::vector<HostId>{0, 1}));
+  EXPECT_EQ(r.hu.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.q_low, 2);
+  EXPECT_DOUBLE_EQ(r.q_high, 5);
+}
+
+TEST(OracleTest, FailureAfterIntervalDoesNotCut) {
+  topology::Graph g = *topology::MakeChain(3);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.ScheduleFailure(20.0, 1);
+  sim.Run();
+  std::vector<double> values{1, 1, 1};
+  OracleReport r = ComputeOracle(sim, 0, 0, 10, AggregateKind::kCount, values);
+  EXPECT_EQ(r.hc.size(), 3u) << "failure at t=20 is outside [0,10]";
+}
+
+TEST(OracleTest, WindowedIntervalsSeeDifferentWorlds) {
+  topology::Graph g = *topology::MakeChain(3);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.ScheduleFailure(15.0, 2);
+  sim.Run();
+  std::vector<double> values{1, 1, 1};
+  // Window [0,10]: host 2 alive throughout => in HC.
+  OracleReport early =
+      ComputeOracle(sim, 0, 0, 10, AggregateKind::kCount, values);
+  EXPECT_EQ(early.hc.size(), 3u);
+  // Window [12,22]: host 2 dies inside => only in HU.
+  OracleReport late =
+      ComputeOracle(sim, 0, 12, 22, AggregateKind::kCount, values);
+  EXPECT_EQ(late.hc.size(), 2u);
+  EXPECT_EQ(late.hu.size(), 3u);
+  // Window [16,26]: host 2 never alive => gone from HU too.
+  OracleReport gone =
+      ComputeOracle(sim, 0, 16, 26, AggregateKind::kCount, values);
+  EXPECT_EQ(gone.hu.size(), 2u);
+}
+
+TEST(OracleTest, MinMaxBoundsAreDirectional) {
+  // Chain 0-1-2; values 5, 1, 9; host 1 fails => HC={0}, HU=all.
+  topology::Graph g = *topology::MakeChain(3);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.ScheduleFailure(1.0, 1);
+  sim.Run();
+  std::vector<double> values{5, 1, 9};
+
+  OracleReport mn = ComputeOracle(sim, 0, 0, 10, AggregateKind::kMin, values);
+  // min over HU = 1 (low), min over HC = 5 (high).
+  EXPECT_DOUBLE_EQ(mn.q_low, 1);
+  EXPECT_DOUBLE_EQ(mn.q_high, 5);
+  EXPECT_TRUE(mn.Contains(5));
+  EXPECT_TRUE(mn.Contains(1));
+  EXPECT_FALSE(mn.Contains(0.5));
+
+  OracleReport mx = ComputeOracle(sim, 0, 0, 10, AggregateKind::kMax, values);
+  EXPECT_DOUBLE_EQ(mx.q_low, 5);
+  EXPECT_DOUBLE_EQ(mx.q_high, 9);
+}
+
+TEST(OracleTest, SumBoundsHandleNegativeValues) {
+  topology::Graph g = *topology::MakeChain(4);
+  sim::Simulator sim(g, sim::SimOptions{});
+  sim.ScheduleFailure(1.0, 1);  // cuts hosts 2,3 from HC
+  sim.Run();
+  std::vector<double> values{10, 4, -3, 7};
+  OracleReport r = ComputeOracle(sim, 0, 0, 10, AggregateKind::kSum, values);
+  // HC = {0}: base 10. Optional: 4 (host1, in HU), -3, 7.
+  EXPECT_DOUBLE_EQ(r.q_low, 10 - 3);
+  EXPECT_DOUBLE_EQ(r.q_high, 10 + 4 + 7);
+}
+
+TEST(OracleTest, ContainsWithinGrantsMultiplicativeSlack) {
+  OracleReport r;
+  r.q_low = 100;
+  r.q_high = 200;
+  EXPECT_FALSE(r.Contains(90));
+  EXPECT_TRUE(r.ContainsWithin(90, 2.0));
+  EXPECT_TRUE(r.ContainsWithin(390, 2.0));
+  EXPECT_FALSE(r.ContainsWithin(450, 2.0));
+}
+
+// ------------------------------------------------------- ExtremeAverages
+
+TEST(ExtremeAveragesTest, NoOptionalsIsJustTheMean) {
+  AvgBounds b = ExtremeAverages({2, 4}, {});
+  EXPECT_DOUBLE_EQ(b.low, 3);
+  EXPECT_DOUBLE_EQ(b.high, 3);
+}
+
+TEST(ExtremeAveragesTest, GreedyPicksHelpfulValuesOnly) {
+  // Mandatory {10}; optional {1, 20}.
+  // Max: add 20 -> mean 15 (adding 1 would lower it).
+  // Min: add 1 -> mean 5.5 (adding 20 would raise it).
+  AvgBounds b = ExtremeAverages({10}, {1, 20});
+  EXPECT_DOUBLE_EQ(b.high, 15);
+  EXPECT_DOUBLE_EQ(b.low, 5.5);
+}
+
+TEST(ExtremeAveragesTest, TakesMultipleWhileImproving) {
+  // Max from {0}: 30 -> 15; 20 > 15 -> (0+30+20)/3 = 16.66..; 10 < 16.66
+  // stops.
+  AvgBounds b = ExtremeAverages({0}, {10, 20, 30});
+  EXPECT_NEAR(b.high, 50.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.low, 0);
+}
+
+TEST(ExtremeAveragesTest, EmptyMandatorySeedsFromExtremes) {
+  AvgBounds b = ExtremeAverages({}, {1, 5, 9});
+  EXPECT_DOUBLE_EQ(b.high, 9 /* then 5,1 would lower it */);
+  EXPECT_DOUBLE_EQ(b.low, 1);
+}
+
+TEST(ExtremeAveragesTest, AllEqualValuesCollapse) {
+  AvgBounds b = ExtremeAverages({7, 7}, {7, 7, 7});
+  EXPECT_DOUBLE_EQ(b.low, 7);
+  EXPECT_DOUBLE_EQ(b.high, 7);
+}
+
+TEST(OracleTest, AverageBoundsContainTruthUnderChurn) {
+  topology::Graph g = *topology::MakeRandom(200, 5.0, 67);
+  sim::Simulator sim(g, sim::SimOptions{});
+  for (HostId h = 10; h < 50; ++h) {
+    sim.ScheduleFailure(2.0 + h * 0.1, h);
+  }
+  sim.Run();
+  std::vector<double> values(200);
+  Rng rng(67);
+  for (auto& v : values) v = static_cast<double>(10 + rng.NextBelow(490));
+  OracleReport r =
+      ComputeOracle(sim, 0, 0, 30, AggregateKind::kAverage, values);
+  // The average over HC and over HU both lie inside the bounds.
+  double hc_avg = ExactAggregate(AggregateKind::kAverage, values, r.hc);
+  double hu_avg = ExactAggregate(AggregateKind::kAverage, values, r.hu);
+  EXPECT_LE(r.q_low, hc_avg);
+  EXPECT_GE(r.q_high, hc_avg);
+  EXPECT_LE(r.q_low, hu_avg);
+  EXPECT_GE(r.q_high, hu_avg);
+  EXPECT_LT(r.q_low, r.q_high);
+}
+
+}  // namespace
+}  // namespace validity::protocols

@@ -1,0 +1,334 @@
+// Tests for the discrete-event simulator: deterministic ordering, delivery
+// and failure semantics, media accounting, heartbeat detection, churn.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/churn.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "topology/generators.h"
+
+namespace validity::sim {
+namespace {
+
+// ------------------------------------------------------------ EventQueue
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 3.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.Now(), 2.0);
+  q.RunAll();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++fired;
+    q.ScheduleAt(2.0, [&] { ++fired; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+// -------------------------------------------------------------- Programs
+
+/// Records every delivery; optionally echoes messages back once.
+class RecordingProgram : public HostProgram {
+ public:
+  struct Delivery {
+    HostId self;
+    HostId src;
+    uint32_t kind;
+    SimTime at;
+  };
+
+  void OnMessage(HostId self, const Message& msg) override {
+    deliveries.push_back({self, msg.src, msg.kind, now_fn()});
+  }
+  void OnNeighborFailure(HostId self, HostId failed) override {
+    failures.push_back({self, failed, 0, now_fn()});
+  }
+
+  std::function<SimTime()> now_fn = [] { return 0.0; };
+  std::vector<Delivery> deliveries;
+  std::vector<Delivery> failures;
+};
+
+Message Msg(uint32_t kind) {
+  Message m;
+  m.kind = kind;
+  return m;
+}
+
+// -------------------------------------------------------------- Delivery
+
+TEST(SimulatorTest, UnicastArrivesAfterDelta) {
+  topology::Graph g = *topology::MakeChain(3);
+  SimOptions opts;
+  opts.delta = 2.0;
+  Simulator sim(g, opts);
+  RecordingProgram prog;
+  prog.now_fn = [&] { return sim.Now(); };
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(1.0, [&] { sim.SendTo(0, 1, Msg(7)); });
+  sim.Run();
+  ASSERT_EQ(prog.deliveries.size(), 1u);
+  EXPECT_EQ(prog.deliveries[0].self, 1u);
+  EXPECT_EQ(prog.deliveries[0].src, 0u);
+  EXPECT_EQ(prog.deliveries[0].kind, 7u);
+  EXPECT_DOUBLE_EQ(prog.deliveries[0].at, 3.0);
+  EXPECT_EQ(sim.metrics().messages_sent(), 1u);
+}
+
+TEST(SimulatorTest, FailedHostSendsNothing) {
+  topology::Graph g = *topology::MakeChain(2);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.5, [&] { sim.FailHost(0); });
+  sim.ScheduleAt(1.0, [&] { sim.SendTo(0, 1, Msg(1)); });
+  sim.Run();
+  EXPECT_TRUE(prog.deliveries.empty());
+  EXPECT_EQ(sim.metrics().messages_sent(), 0u);
+}
+
+TEST(SimulatorTest, InFlightMessageToFailedHostIsLost) {
+  topology::Graph g = *topology::MakeChain(2);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(1.0, [&] { sim.SendTo(0, 1, Msg(1)); });
+  sim.ScheduleAt(1.5, [&] { sim.FailHost(1); });  // dies before delivery at 2
+  sim.Run();
+  EXPECT_TRUE(prog.deliveries.empty());
+  EXPECT_EQ(sim.metrics().messages_sent(), 1u);  // charged but undelivered
+  EXPECT_EQ(sim.metrics().messages_delivered(), 0u);
+}
+
+TEST(SimulatorTest, InFlightMessageFromFailedSenderStillArrives) {
+  // Paper §3.2: the message was sent while the sender was alive.
+  topology::Graph g = *topology::MakeChain(2);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(1.0, [&] { sim.SendTo(0, 1, Msg(1)); });
+  sim.ScheduleAt(1.5, [&] { sim.FailHost(0); });
+  sim.Run();
+  EXPECT_EQ(prog.deliveries.size(), 1u);
+}
+
+TEST(SimulatorTest, PointToPointNeighborsChargesPerNeighbor) {
+  topology::Graph g = *topology::MakeStar(5);  // host 0 has 4 neighbors
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.0, [&] { sim.SendToNeighbors(0, Msg(1)); });
+  sim.Run();
+  EXPECT_EQ(sim.metrics().messages_sent(), 4u);
+  EXPECT_EQ(prog.deliveries.size(), 4u);
+}
+
+TEST(SimulatorTest, WirelessBroadcastChargesOnce) {
+  topology::Graph g = *topology::MakeStar(5);
+  SimOptions opts;
+  opts.medium = MediumKind::kWireless;
+  Simulator sim(g, opts);
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.0, [&] { sim.SendToNeighbors(0, Msg(1)); });
+  sim.Run();
+  EXPECT_EQ(sim.metrics().messages_sent(), 1u);   // one transmission
+  EXPECT_EQ(prog.deliveries.size(), 4u);          // everyone hears it
+  EXPECT_EQ(sim.metrics().messages_delivered(), 4u);
+}
+
+TEST(SimulatorTest, SendDirectReachesNonNeighbors) {
+  topology::Graph g = *topology::MakeChain(5);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.0, [&] { sim.SendDirect(4, 0, Msg(9)); });
+  sim.Run();
+  ASSERT_EQ(prog.deliveries.size(), 1u);
+  EXPECT_EQ(prog.deliveries[0].self, 0u);
+  EXPECT_EQ(sim.metrics().messages_sent(), 1u);
+}
+
+// -------------------------------------------------------------- Failures
+
+TEST(SimulatorTest, FailureBookkeeping) {
+  topology::Graph g = *topology::MakeChain(3);
+  Simulator sim(g, SimOptions{});
+  EXPECT_EQ(sim.alive_count(), 3u);
+  sim.ScheduleFailure(2.0, 1);
+  sim.Run();
+  EXPECT_FALSE(sim.IsAlive(1));
+  EXPECT_EQ(sim.alive_count(), 2u);
+  EXPECT_DOUBLE_EQ(sim.FailureTime(1), 2.0);
+  EXPECT_TRUE(sim.AliveThroughout(0, 0.0, 10.0));
+  EXPECT_FALSE(sim.AliveThroughout(1, 0.0, 10.0));
+  EXPECT_TRUE(sim.AliveThroughout(1, 0.0, 1.5));
+  EXPECT_TRUE(sim.AliveSometimeIn(1, 0.0, 10.0));
+  EXPECT_FALSE(sim.AliveSometimeIn(1, 3.0, 10.0));
+}
+
+TEST(SimulatorTest, HeartbeatDetectionFiresAfterThbPlusDelta) {
+  topology::Graph g = *topology::MakeChain(3);
+  SimOptions opts;
+  opts.failure_detection = true;
+  opts.heartbeat_interval = 2.0;
+  opts.delta = 1.0;
+  Simulator sim(g, opts);
+  RecordingProgram prog;
+  prog.now_fn = [&] { return sim.Now(); };
+  sim.AttachProgram(&prog);
+  sim.ScheduleFailure(5.0, 1);
+  sim.Run();
+  // Both neighbors (0 and 2) learn at 5 + 2 + 1 = 8.
+  ASSERT_EQ(prog.failures.size(), 2u);
+  for (const auto& f : prog.failures) {
+    EXPECT_EQ(f.src, 1u);
+    EXPECT_DOUBLE_EQ(f.at, 8.0);
+  }
+}
+
+TEST(SimulatorTest, AddHostJoinsAndDelivers) {
+  topology::Graph g = *topology::MakeChain(2);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(1.0, [&] {
+    auto id = sim.AddHost({1});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 2u);
+    sim.SendTo(*id, 1, Msg(4));
+  });
+  sim.Run();
+  EXPECT_EQ(sim.num_hosts(), 3u);
+  EXPECT_DOUBLE_EQ(sim.JoinTime(2), 1.0);
+  ASSERT_EQ(prog.deliveries.size(), 1u);
+  EXPECT_EQ(prog.deliveries[0].src, 2u);
+}
+
+TEST(SimulatorTest, AddHostRejectsDeadNeighbor) {
+  topology::Graph g = *topology::MakeChain(2);
+  Simulator sim(g, SimOptions{});
+  sim.ScheduleAt(1.0, [&] {
+    sim.FailHost(1);
+    EXPECT_EQ(sim.AddHost({1}).status().code(),
+              StatusCode::kFailedPrecondition);
+  });
+  sim.Run();
+}
+
+// ----------------------------------------------------------------- Churn
+
+TEST(ChurnTest, UniformChurnProtectsAndSpacesUniformly) {
+  Rng rng(5);
+  auto events = MakeUniformChurn(100, /*protect=*/7, /*removals=*/10,
+                                 /*start=*/0.0, /*end=*/20.0, &rng);
+  ASSERT_EQ(events.size(), 10u);
+  std::set<HostId> victims;
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_NE(events[i].host, 7u);
+    victims.insert(events[i].host);
+    EXPECT_DOUBLE_EQ(events[i].time, (static_cast<double>(i) + 0.5) * 2.0);
+  }
+  EXPECT_EQ(victims.size(), 10u);  // distinct victims
+}
+
+TEST(ChurnTest, ScheduledChurnActuallyFails) {
+  topology::Graph g = *topology::MakeRandom(50, 4.0, 3);
+  Simulator sim(g, SimOptions{});
+  Rng rng(9);
+  auto events = MakeUniformChurn(50, 0, 20, 0.0, 10.0, &rng);
+  ScheduleChurn(&sim, events);
+  sim.Run();
+  EXPECT_EQ(sim.alive_count(), 30u);
+  EXPECT_TRUE(sim.IsAlive(0));
+}
+
+TEST(ChurnTest, ExponentialLifetimesRespectHorizonAndProtect) {
+  Rng rng(4);
+  auto events = MakeExponentialLifetimeChurn(500, 3, 10.0, 30.0, &rng);
+  EXPECT_GT(events.size(), 300u);  // most die within 3 mean lifetimes
+  for (const auto& e : events) {
+    EXPECT_NE(e.host, 3u);
+    EXPECT_LE(e.time, 30.0);
+    EXPECT_GT(e.time, 0.0);
+  }
+  // Sorted by time.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+// --------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, SendsPerTickBucketsByFloor) {
+  topology::Graph g = *topology::MakeChain(3);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.0, [&] { sim.SendTo(0, 1, Msg(1)); });
+  sim.ScheduleAt(0.5, [&] { sim.SendTo(0, 1, Msg(1)); });
+  sim.ScheduleAt(2.0, [&] { sim.SendTo(1, 2, Msg(1)); });
+  sim.Run();
+  const auto& ticks = sim.metrics().SendsPerTick();
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], 2u);
+  EXPECT_EQ(ticks[1], 0u);
+  EXPECT_EQ(ticks[2], 1u);
+}
+
+TEST(MetricsTest, ComputationDistributionCountsReceptions) {
+  topology::Graph g = *topology::MakeStar(4);
+  Simulator sim(g, SimOptions{});
+  RecordingProgram prog;
+  sim.AttachProgram(&prog);
+  sim.ScheduleAt(0.0, [&] {
+    sim.SendTo(1, 0, Msg(1));
+    sim.SendTo(2, 0, Msg(1));
+    sim.SendTo(3, 0, Msg(1));
+  });
+  sim.Run();
+  EXPECT_EQ(sim.metrics().ProcessedBy(0), 3u);
+  EXPECT_EQ(sim.metrics().MaxProcessed(), 3u);
+  Histogram h = sim.metrics().ComputationCostDistribution();
+  EXPECT_EQ(h.CountAt(0), 3);  // the three spokes processed nothing
+  EXPECT_EQ(h.CountAt(3), 1);
+}
+
+}  // namespace
+}  // namespace validity::sim

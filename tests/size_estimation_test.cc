@@ -1,0 +1,209 @@
+// §5.4 extension tests: capture-recapture (Jolly-Seber) network-size
+// estimation and the DHT-ring segment-length estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "protocols/capture_recapture.h"
+#include "protocols/ring_estimator.h"
+#include "sim/churn.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+TEST(CaptureRecaptureTest, StartValidatesOptions) {
+  topology::Graph g = *topology::MakeChain(4);
+  sim::Simulator sim(g, sim::SimOptions{});
+  {
+    CaptureRecaptureOptions opts;
+    opts.sample_size = 0;
+    CaptureRecaptureEstimator est(&sim, opts, 1);
+    EXPECT_FALSE(est.Start(0).ok());
+  }
+  {
+    CaptureRecaptureOptions opts;
+    opts.interval = 0;
+    CaptureRecaptureEstimator est(&sim, opts, 1);
+    EXPECT_FALSE(est.Start(0).ok());
+  }
+}
+
+TEST(CaptureRecaptureTest, UniformSamplerEstimatesStaticSize) {
+  topology::Graph g = *topology::MakeRandom(2000, 5.0, 81);
+  sim::Simulator sim(g, sim::SimOptions{});
+  CaptureRecaptureOptions opts;
+  opts.sample_size = 300;  // ~ 6.7 * sqrt(n): comfortably enough recaptures
+  opts.interval = 5.0;
+  opts.num_intervals = 8;
+  opts.sampler = SamplerKind::kUniform;
+  CaptureRecaptureEstimator est(&sim, opts, 81);
+  ASSERT_TRUE(est.Start(0).ok());
+  sim.Run();
+  ASSERT_GE(est.estimates().size(), 6u);
+  double mean = 0;
+  int n = 0;
+  for (const auto& e : est.estimates()) {
+    if (std::isnan(e.estimate)) continue;
+    mean += e.estimate;
+    ++n;
+    EXPECT_EQ(e.true_alive, 2000u);
+  }
+  ASSERT_GT(n, 3);
+  mean /= n;
+  EXPECT_NEAR(mean / 2000.0, 1.0, 0.25);
+}
+
+TEST(CaptureRecaptureTest, TracksDecliningPopulation) {
+  topology::Graph g = *topology::MakeRandom(2000, 6.0, 82);
+  sim::Simulator sim(g, sim::SimOptions{});
+  Rng churn_rng(82);
+  // Halve the network over the sampling horizon.
+  sim::ScheduleChurn(&sim,
+                     sim::MakeUniformChurn(2000, 0, 1000, 0.0, 60.0,
+                                           &churn_rng));
+  CaptureRecaptureOptions opts;
+  opts.sample_size = 300;
+  opts.interval = 6.0;
+  opts.num_intervals = 10;
+  opts.sampler = SamplerKind::kUniform;
+  CaptureRecaptureEstimator est(&sim, opts, 82);
+  ASSERT_TRUE(est.Start(0).ok());
+  sim.Run();
+  ASSERT_GE(est.estimates().size(), 8u);
+  // Estimates decline roughly in step with the truth.
+  const auto& first = est.estimates().front();
+  const auto& last = est.estimates().back();
+  ASSERT_FALSE(std::isnan(first.estimate));
+  ASSERT_FALSE(std::isnan(last.estimate));
+  EXPECT_LT(last.estimate, first.estimate);
+  EXPECT_NEAR(last.estimate / last.true_alive, 1.0, 0.45);
+}
+
+TEST(CaptureRecaptureTest, MarkedSetRespectsCapAndPrunesDead) {
+  topology::Graph g = *topology::MakeRandom(500, 5.0, 83);
+  sim::Simulator sim(g, sim::SimOptions{});
+  Rng churn_rng(83);
+  sim::ScheduleChurn(&sim,
+                     sim::MakeUniformChurn(500, 0, 250, 0.0, 50.0, &churn_rng));
+  CaptureRecaptureOptions opts;
+  opts.sample_size = 100;
+  opts.interval = 5.0;
+  opts.num_intervals = 10;
+  opts.max_marked = 60;
+  opts.sampler = SamplerKind::kUniform;
+  CaptureRecaptureEstimator est(&sim, opts, 83);
+  ASSERT_TRUE(est.Start(0).ok());
+  sim.Run();
+  for (const auto& e : est.estimates()) {
+    EXPECT_LE(e.marked, 60u);
+    EXPECT_LE(e.recaptured, e.sampled);
+  }
+}
+
+TEST(CaptureRecaptureTest, RandomWalkSamplerWorksOnExpanderLikeOverlay) {
+  // The paper's suggestion: random-walk endpoints on a well-connected
+  // overlay approximate uniform samples. Accuracy is looser than the
+  // uniform sampler but the estimate stays in a sane band.
+  topology::Graph g = *topology::MakeRandom(1500, 8.0, 84);
+  sim::Simulator sim(g, sim::SimOptions{});
+  CaptureRecaptureOptions opts;
+  opts.sample_size = 250;
+  opts.interval = 5.0;
+  opts.num_intervals = 8;
+  opts.sampler = SamplerKind::kRandomWalk;
+  CaptureRecaptureEstimator est(&sim, opts, 84);
+  ASSERT_TRUE(est.Start(0).ok());
+  sim.Run();
+  double mean = 0;
+  int n = 0;
+  for (const auto& e : est.estimates()) {
+    if (std::isnan(e.estimate)) continue;
+    mean += e.estimate;
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  mean /= n;
+  EXPECT_GT(mean / 1500.0, 0.55);
+  EXPECT_LT(mean / 1500.0, 1.8);
+}
+
+// ------------------------------------------------------------------- Ring
+
+TEST(RingEstimatorTest, PositionsAreDeterministicAndUniform) {
+  topology::Graph g = *topology::MakeRandom(1000, 5.0, 85);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RingSizeEstimator ring_a(&sim, 7);
+  RingSizeEstimator ring_b(&sim, 7);
+  double below_half = 0;
+  for (HostId h = 0; h < 1000; ++h) {
+    double p = ring_a.PositionOf(h);
+    EXPECT_EQ(p, ring_b.PositionOf(h));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    if (p < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(below_half / 1000.0, 0.5, 0.06);
+}
+
+TEST(RingEstimatorTest, SegmentsPartitionTheRing) {
+  topology::Graph g = *topology::MakeRandom(200, 5.0, 86);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RingSizeEstimator ring(&sim, 11);
+  double total = 0;
+  for (HostId h = 0; h < 200; ++h) total += ring.SegmentOf(h);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RingEstimatorTest, EstimatesStaticSize) {
+  topology::Graph g = *topology::MakeRandom(5000, 5.0, 87);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RingSizeEstimator ring(&sim, 13);
+  Rng rng(87);
+  // Average several estimates (s/X_s is noisy for one draw).
+  double mean = 0;
+  constexpr int kReps = 20;
+  for (int i = 0; i < kReps; ++i) {
+    auto est = ring.EstimateSize(200, &rng);
+    ASSERT_TRUE(est.ok());
+    mean += *est;
+  }
+  mean /= kReps;
+  EXPECT_NEAR(mean / 5000.0, 1.0, 0.25);
+}
+
+TEST(RingEstimatorTest, TracksChurnedPopulation) {
+  topology::Graph g = *topology::MakeRandom(3000, 5.0, 88);
+  sim::Simulator sim(g, sim::SimOptions{});
+  Rng churn_rng(88);
+  sim::ScheduleChurn(&sim,
+                     sim::MakeUniformChurn(3000, 0, 1500, 0.0, 10.0,
+                                           &churn_rng));
+  sim.Run();  // all failures applied
+  RingSizeEstimator ring(&sim, 17);
+  Rng rng(88);
+  double mean = 0;
+  constexpr int kReps = 20;
+  for (int i = 0; i < kReps; ++i) {
+    auto est = ring.EstimateSize(150, &rng);
+    ASSERT_TRUE(est.ok());
+    mean += *est;
+  }
+  mean /= kReps;
+  EXPECT_NEAR(mean / 1500.0, 1.0, 0.3);
+}
+
+TEST(RingEstimatorTest, ErrorsOnEmptyOrZeroSample) {
+  topology::Graph g = *topology::MakeChain(2);
+  sim::Simulator sim(g, sim::SimOptions{});
+  RingSizeEstimator ring(&sim, 3);
+  Rng rng(1);
+  EXPECT_FALSE(ring.EstimateSize(0, &rng).ok());
+  sim.FailHost(0);
+  sim.FailHost(1);
+  EXPECT_FALSE(ring.EstimateSize(5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace validity::protocols

@@ -1,0 +1,206 @@
+// Tests for the Flajolet-Martin sketch library: distributional properties,
+// semilattice laws of the OR-merge, estimation accuracy (Fig. 6 / Theorem
+// 5.2 shapes), and the exactness of the fast sum initialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "sketch/fm_sketch.h"
+
+namespace validity::sketch {
+namespace {
+
+TEST(FmSketchTest, EmptySketchEstimatesSmall) {
+  FmSketch s(FmParams{8});
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.LowestZeroBit(0), 0);
+  EXPECT_NEAR(s.Estimate(), 1.0 / kFmPhi, 1e-9);
+}
+
+TEST(FmSketchTest, SingleElementSetsOneBitPerVector) {
+  Rng rng(1);
+  FmSketch s = FmSketch::ForDistinctElement(FmParams{16}, &rng);
+  for (uint32_t i = 0; i < s.num_vectors(); ++i) {
+    EXPECT_EQ(__builtin_popcountll(s.word(i)), 1);
+  }
+}
+
+TEST(FmSketchTest, MergeOrIsIdempotentCommutativeAssociative) {
+  Rng rng(2);
+  FmParams params{8};
+  for (int trial = 0; trial < 50; ++trial) {
+    FmSketch a = FmSketch::ForMagnitude(params, rng.NextBelow(100), &rng);
+    FmSketch b = FmSketch::ForMagnitude(params, rng.NextBelow(100), &rng);
+    FmSketch c = FmSketch::ForMagnitude(params, rng.NextBelow(100), &rng);
+
+    FmSketch aa = a;
+    aa.MergeOr(a);
+    EXPECT_EQ(aa, a) << "idempotent";
+
+    FmSketch ab = a;
+    ab.MergeOr(b);
+    FmSketch ba = b;
+    ba.MergeOr(a);
+    EXPECT_EQ(ab, ba) << "commutative";
+
+    FmSketch ab_c = ab;
+    ab_c.MergeOr(c);
+    FmSketch bc = b;
+    bc.MergeOr(c);
+    FmSketch a_bc = a;
+    a_bc.MergeOr(bc);
+    EXPECT_EQ(ab_c, a_bc) << "associative";
+  }
+}
+
+TEST(FmSketchTest, MergeOrReportsChangeExactly) {
+  Rng rng(3);
+  FmParams params{4};
+  FmSketch a = FmSketch::ForDistinctElement(params, &rng);
+  FmSketch b = FmSketch::ForDistinctElement(params, &rng);
+  FmSketch merged = a;
+  bool changed_first = merged.MergeOr(b);
+  bool changed_second = merged.MergeOr(b);
+  EXPECT_TRUE(changed_first || merged == a);
+  EXPECT_FALSE(changed_second) << "re-merging the same sketch cannot change";
+  EXPECT_FALSE(merged.MergeOr(a));
+}
+
+TEST(FmSketchTest, DuplicateInsensitivity) {
+  // The same host's sketch merged many times must not inflate the estimate:
+  // the core property WILDFIRE relies on (paper §5.2).
+  Rng rng(4);
+  FmParams params{16};
+  FmSketch base = FmSketch::ForDistinctElement(params, &rng);
+  FmSketch merged = base;
+  for (int i = 0; i < 100; ++i) merged.MergeOr(base);
+  EXPECT_EQ(merged, base);
+}
+
+TEST(FmSketchTest, EstimateGrowsWithDistinctElements) {
+  Rng rng(5);
+  FmParams params{32};
+  FmSketch small(params);
+  FmSketch large(params);
+  for (int i = 0; i < 10; ++i) small.InsertDistinctElement(&rng);
+  for (int i = 0; i < 10000; ++i) large.InsertDistinctElement(&rng);
+  EXPECT_LT(small.Estimate(), large.Estimate());
+}
+
+// Accuracy sweep, the Fig. 6 property: the mean ratio estimate/truth over
+// repeated runs approaches 1 as c grows. Parameterized over set sizes
+// (|M| in {2^10, 2^12, 2^14}) like the paper.
+class FmAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmAccuracyTest, MeanRatioNearOneForModerateC) {
+  const uint64_t set_size = 1ULL << GetParam();
+  FmParams params{16};
+  Rng rng(100 + GetParam());
+  double ratio_sum = 0.0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    FmSketch s(params);
+    for (uint64_t i = 0; i < set_size; ++i) s.InsertDistinctElement(&rng);
+    ratio_sum += s.Estimate() / static_cast<double>(set_size);
+  }
+  double mean_ratio = ratio_sum / kTrials;
+  EXPECT_GT(mean_ratio, 0.75);
+  EXPECT_LT(mean_ratio, 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, FmAccuracyTest,
+                         ::testing::Values(10, 12, 14));
+
+TEST(FmSketchTest, Theorem52FactorCBound) {
+  // Pr[ 1/c <= est/true <= c ] >= 1 - 2/c. Test at c = 8 with margin.
+  constexpr uint32_t c = 8;
+  constexpr int kTrials = 60;
+  constexpr uint64_t kTruth = 4096;
+  int within = 0;
+  Rng rng(6);
+  for (int t = 0; t < kTrials; ++t) {
+    FmSketch s(FmParams{c});
+    for (uint64_t i = 0; i < kTruth; ++i) s.InsertDistinctElement(&rng);
+    double ratio = s.Estimate() / static_cast<double>(kTruth);
+    if (ratio >= 1.0 / c && ratio <= c) ++within;
+  }
+  // Bound guarantees >= 75%; in practice nearly all trials pass.
+  EXPECT_GE(within, kTrials * 3 / 4);
+}
+
+TEST(FmSketchTest, ForMagnitudeMatchesNaiveInsertionDistribution) {
+  // The binomial-halving fast path must draw from the same distribution as
+  // m explicit insertions. Compare mean lowest-zero-bit across many trials.
+  constexpr uint64_t kMagnitude = 300;
+  constexpr int kTrials = 300;
+  FmParams params{4};
+  Rng rng_fast(7);
+  Rng rng_naive(8);
+  double z_fast = 0;
+  double z_naive = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    FmSketch fast = FmSketch::ForMagnitude(params, kMagnitude, &rng_fast);
+    FmSketch naive(params);
+    for (uint64_t i = 0; i < kMagnitude; ++i) {
+      naive.InsertDistinctElement(&rng_naive);
+    }
+    for (uint32_t v = 0; v < params.num_vectors; ++v) {
+      z_fast += fast.LowestZeroBit(v);
+      z_naive += naive.LowestZeroBit(v);
+    }
+  }
+  z_fast /= kTrials * params.num_vectors;
+  z_naive /= kTrials * params.num_vectors;
+  EXPECT_NEAR(z_fast, z_naive, 0.15);
+}
+
+TEST(FmSketchTest, ForMagnitudeZeroIsEmpty) {
+  Rng rng(9);
+  FmSketch s = FmSketch::ForMagnitude(FmParams{8}, 0, &rng);
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(FmSketchTest, SizeBytesMatchesVectors) {
+  FmSketch s(FmParams{12});
+  EXPECT_EQ(s.SizeBytes(), 12 * sizeof(uint64_t));
+}
+
+TEST(FmSketchTest, EstimateSetCountAndSum) {
+  // A Zipf-ish value set: count estimates |M|, sum estimates the total.
+  Rng rng(10);
+  std::vector<int64_t> values;
+  int64_t truth_sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = 10 + static_cast<int64_t>(rng.NextBelow(491));
+    values.push_back(v);
+    truth_sum += v;
+  }
+  FmSetEstimate est = EstimateSet(FmParams{24}, values, &rng);
+  EXPECT_NEAR(est.count / 2000.0, 1.0, 0.5);
+  EXPECT_NEAR(est.sum / static_cast<double>(truth_sum), 1.0, 0.5);
+}
+
+TEST(FmSketchTest, MergedShardsEqualUnionSketch) {
+  // Sum sketch semantics: host values sketched independently then OR-ed
+  // estimate the total sum, exactly the distributed procedure of §5.2.
+  Rng rng(11);
+  FmParams params{24};
+  constexpr int kHosts = 500;
+  FmSketch combined(params);
+  uint64_t truth = 0;
+  for (int h = 0; h < kHosts; ++h) {
+    uint64_t value = 10 + rng.NextBelow(200);
+    truth += value;
+    FmSketch host_sketch = FmSketch::ForMagnitude(params, value, &rng);
+    combined.MergeOr(host_sketch);
+  }
+  double ratio = combined.Estimate() / static_cast<double>(truth);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace validity::sketch

@@ -1,0 +1,244 @@
+// Tests for the topology substrate: graph invariants, the paper's four
+// evaluation topologies, graph algorithms, and edge-list IO.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "topology/algorithms.h"
+#include "topology/edge_list_io.h"
+#include "topology/generators.h"
+#include "topology/graph.h"
+
+namespace validity::topology {
+namespace {
+
+// ---------------------------------------------------------------- Graph
+
+TEST(GraphTest, AddEdgeMaintainsSymmetry) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, RejectsSelfLoopsDuplicatesAndOutOfRange) {
+  Graph g(3);
+  EXPECT_EQ(g.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(0, 3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  Graph g = *MakeStar(5);
+  EXPECT_EQ(g.MaxDegree(), 4u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0 * 4 / 5);
+}
+
+// ----------------------------------------------------------- Generators
+
+TEST(GeneratorTest, RandomHasRequestedAverageDegreeAndIsConnected) {
+  Graph g = *MakeRandom(4000, 5.0, 7);
+  EXPECT_EQ(g.num_hosts(), 4000u);
+  EXPECT_NEAR(g.AverageDegree(), 5.0, 0.35);
+  EXPECT_TRUE(g.Validate().ok());
+  Components comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.count, 1u);
+}
+
+TEST(GeneratorTest, RandomIsDeterministicInSeed) {
+  auto edge_set = [](const Graph& g) {
+    std::set<std::pair<HostId, HostId>> edges;
+    for (HostId a = 0; a < g.num_hosts(); ++a) {
+      for (HostId b : g.Neighbors(a)) {
+        edges.emplace(std::min(a, b), std::max(a, b));
+      }
+    }
+    return edges;
+  };
+  Graph a = *MakeRandom(500, 5.0, 11);
+  Graph b = *MakeRandom(500, 5.0, 11);
+  Graph c = *MakeRandom(500, 5.0, 12);
+  EXPECT_EQ(edge_set(a), edge_set(b));
+  EXPECT_NE(edge_set(a), edge_set(c));
+}
+
+TEST(GeneratorTest, PowerLawHasHeavyTailAndIsConnected) {
+  Graph g = *MakePowerLaw(8000, 2.9, 13);
+  EXPECT_EQ(g.num_hosts(), 8000u);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(ConnectedComponents(g).count, 1u);
+  // Heavy tail: some host far above the average degree.
+  EXPECT_GT(g.MaxDegree(), 8 * g.AverageDegree());
+  // Tail exponent in the vicinity of the requested gamma = 2.9.
+  double gamma = EstimatePowerLawExponent(g, 3);
+  EXPECT_GT(gamma, 2.0);
+  EXPECT_LT(gamma, 4.0);
+}
+
+TEST(GeneratorTest, BarabasiAlbertDegreesAndConnectivity) {
+  Graph g = *MakeBarabasiAlbert(2000, 2, 17);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(ConnectedComponents(g).count, 1u);
+  // Every non-seed host attaches with ~m edges => average degree ~2m.
+  EXPECT_NEAR(g.AverageDegree(), 4.0, 0.5);
+  EXPECT_GT(g.MaxDegree(), 20u);
+}
+
+TEST(GeneratorTest, GridMooreNeighborhood) {
+  Graph g = *MakeGrid(10);
+  EXPECT_EQ(g.num_hosts(), 100u);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(ConnectedComponents(g).count, 1u);
+  // Corner host: 3 neighbors; edge host: 5; interior host: 8.
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(5), 5u);
+  EXPECT_EQ(g.Degree(5 * 10 + 5), 8u);
+  // Moore grid edge count: 2*s*(s-1) rook edges + 2*(s-1)^2 diagonals.
+  EXPECT_EQ(g.num_edges(), 2u * 10 * 9 + 2u * 9 * 9);
+}
+
+TEST(GeneratorTest, GnutellaLikeMatchesCrawlShape) {
+  // Substitution check (DESIGN.md): heavy-tailed degrees, average degree
+  // near the published ~3.4, small diameter, connected.
+  Graph g = *MakeGnutellaLike(20000, 19);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(ConnectedComponents(g).count, 1u);
+  EXPECT_GT(g.AverageDegree(), 2.5);
+  EXPECT_LT(g.AverageDegree(), 4.5);
+  EXPECT_GT(g.MaxDegree(), 50u);
+  Rng rng(1);
+  uint32_t diameter = EstimateDiameter(g, 2, &rng);
+  EXPECT_LE(diameter, 20u);
+  EXPECT_GE(diameter, 5u);
+}
+
+TEST(GeneratorTest, RegularShapes) {
+  Graph chain = *MakeChain(5);
+  EXPECT_EQ(chain.num_edges(), 4u);
+  EXPECT_EQ(chain.Degree(0), 1u);
+  EXPECT_EQ(chain.Degree(2), 2u);
+
+  Graph cycle = *MakeCycle(6);
+  EXPECT_EQ(cycle.num_edges(), 6u);
+  for (HostId h = 0; h < 6; ++h) EXPECT_EQ(cycle.Degree(h), 2u);
+
+  Graph star = *MakeStar(7);
+  EXPECT_EQ(star.num_edges(), 6u);
+  EXPECT_EQ(star.Degree(0), 6u);
+
+  EXPECT_FALSE(MakeCycle(2).ok());
+  EXPECT_FALSE(MakeChain(0).ok());
+}
+
+TEST(GeneratorTest, Theorem44InstanceShape) {
+  // Cycle of 2n+2 hosts plus a tail attached at h_{n+1}.
+  constexpr uint32_t n = 5;
+  Graph g = *MakeTheorem44Instance(n);
+  EXPECT_EQ(g.num_hosts(), 2 * n + 3);
+  EXPECT_EQ(g.num_edges(), 2 * n + 3);  // cycle edges + 1 tail edge
+  EXPECT_EQ(g.Degree(2 * n + 2), 1u);
+  EXPECT_EQ(g.Degree(n + 1), 3u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// ----------------------------------------------------------- Algorithms
+
+TEST(AlgorithmsTest, BfsDistancesOnChain) {
+  Graph g = *MakeChain(6);
+  auto dist = BfsDistances(g, 0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(AlgorithmsTest, BfsFilteredRespectsAliveness) {
+  Graph g = *MakeChain(6);
+  // Kill host 3: hosts 4,5 become unreachable from 0.
+  auto dist = BfsDistancesFiltered(g, 0, [](HostId h) { return h != 3; });
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(AlgorithmsTest, ComponentsOnDisconnectedGraph) {
+  Graph g(7);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  Components comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.count, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(comps.sizes[comps.largest], 3u);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+}
+
+TEST(AlgorithmsTest, DiametersOfRegularShapes) {
+  EXPECT_EQ(ExactDiameter(*MakeChain(10)), 9u);
+  EXPECT_EQ(ExactDiameter(*MakeCycle(10)), 5u);
+  EXPECT_EQ(ExactDiameter(*MakeStar(10)), 2u);
+  // Moore grid: Chebyshev metric => diameter = side - 1.
+  EXPECT_EQ(ExactDiameter(*MakeGrid(7)), 6u);
+}
+
+TEST(AlgorithmsTest, EstimateDiameterLowerBoundsAndOftenMatches) {
+  Rng rng(3);
+  Graph g = *MakeChain(30);
+  uint32_t est = EstimateDiameter(g, 3, &rng);
+  EXPECT_EQ(est, 29u);  // double sweep is exact on a path
+  Graph grid = *MakeGrid(8);
+  uint32_t est2 = EstimateDiameter(grid, 4, &rng);
+  EXPECT_LE(est2, 7u);
+  EXPECT_GE(est2, 6u);
+}
+
+TEST(AlgorithmsTest, DegreeStatsMatchGraph) {
+  Graph g = *MakeStar(5);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.average, g.AverageDegree());
+  EXPECT_EQ(stats.histogram.CountAt(1), 4);
+  EXPECT_EQ(stats.histogram.CountAt(4), 1);
+}
+
+// ------------------------------------------------------------------- IO
+
+TEST(EdgeListIoTest, RoundTrip) {
+  Graph g = *MakeRandom(200, 4.0, 23);
+  std::string path = testing::TempDir() + "/graph_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_hosts(), g.num_hosts());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (HostId h = 0; h < g.num_hosts(); ++h) {
+    EXPECT_EQ(loaded->Degree(h), g.Degree(h));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, LoadRejectsMissingAndMalformed) {
+  EXPECT_EQ(LoadEdgeList("/nonexistent/graph.txt").status().code(),
+            StatusCode::kNotFound);
+  std::string path = testing::TempDir() + "/bad_graph.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("3 1\n0 7\n", f);  // endpoint out of range
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace validity::topology

@@ -1,0 +1,355 @@
+// WILDFIRE protocol tests: the Example 5.1 walk-through, failure-free
+// exactness, Single-Site Validity under churn (the Theorem 5.1 property,
+// checked against the ORACLE across topologies/aggregates/seeds), the §5.3
+// optimizations, and wireless-medium behaviour.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/engine.h"
+#include "protocols/oracle.h"
+#include "protocols/wildfire.h"
+#include "sim/churn.h"
+#include "sim/simulator.h"
+#include "topology/algorithms.h"
+#include "topology/generators.h"
+
+namespace validity::protocols {
+namespace {
+
+/// The Fig. 5 network: w(5) - x(15), w - y(1), x - z(25), y - z.
+topology::Graph Example51Graph() {
+  topology::Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());  // w - x
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());  // w - y
+  EXPECT_TRUE(g.AddEdge(1, 3).ok());  // x - z
+  EXPECT_TRUE(g.AddEdge(2, 3).ok());  // y - z
+  return g;
+}
+
+QueryContext MakeContext(AggregateKind agg, CombinerKind combiner,
+                         const std::vector<double>* values, double d_hat) {
+  QueryContext ctx;
+  ctx.aggregate = agg;
+  ctx.combiner = combiner;
+  ctx.values = values;
+  ctx.d_hat = d_hat;
+  ctx.fm.num_vectors = 16;
+  ctx.sketch_seed = 99;
+  return ctx;
+}
+
+TEST(WildfireTest, Example51MaxTrace) {
+  topology::Graph g = Example51Graph();
+  std::vector<double> values{5, 15, 1, 25};
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kMax, CombinerKind::kMax, &values, 3));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_DOUBLE_EQ(wf.result().value, 25);
+  // "at time T = 2 * D-hat = 6, w declares v = 25".
+  EXPECT_DOUBLE_EQ(wf.result().declared_at, 6.0);
+  // Activation levels: w=0; x,y=1; z=2.
+  EXPECT_EQ(wf.ActivationLevel(0), 0);
+  EXPECT_EQ(wf.ActivationLevel(1), 1);
+  EXPECT_EQ(wf.ActivationLevel(2), 1);
+  EXPECT_EQ(wf.ActivationLevel(3), 2);
+
+  // Message timeline of Example 5.1: t=0: w->x, w->y. t=1: x->z, x->w,
+  // y->z. t=2: z->x, z->y, w->y. t=3: x->w, y->w. t=4 on: silence.
+  const auto& ticks = sim.metrics().SendsPerTick();
+  ASSERT_GE(ticks.size(), 4u);
+  EXPECT_EQ(ticks[0], 2u);
+  EXPECT_EQ(ticks[1], 3u);
+  EXPECT_EQ(ticks[2], 3u);
+  EXPECT_EQ(ticks[3], 2u);
+  for (size_t t = 4; t < ticks.size(); ++t) EXPECT_EQ(ticks[t], 0u);
+  EXPECT_EQ(sim.metrics().messages_sent(), 10u);
+}
+
+TEST(WildfireTest, Example51SurvivesRelayFailure) {
+  // "if either x or y had failed, w would still obtain z's value".
+  for (HostId victim : {HostId{1}, HostId{2}}) {
+    topology::Graph g = Example51Graph();
+    std::vector<double> values{5, 15, 1, 25};
+    sim::Simulator sim(g, sim::SimOptions{});
+    WildfireProtocol wf(&sim, MakeContext(AggregateKind::kMax,
+                                          CombinerKind::kMax, &values, 3));
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.ScheduleFailure(1.25, victim);  // right after Broadcast passes
+    sim.Run();
+    ASSERT_TRUE(wf.result().declared);
+    EXPECT_DOUBLE_EQ(wf.result().value, 25) << "victim " << victim;
+  }
+}
+
+TEST(WildfireTest, Example51BothRelaysFailing) {
+  // "If both x and y had failed, w would output v = 5, acceptable as
+  // HC = {w}".
+  topology::Graph g = Example51Graph();
+  std::vector<double> values{5, 15, 1, 25};
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kMax, CombinerKind::kMax, &values, 3));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.ScheduleFailure(0.5, 1);
+  sim.ScheduleFailure(0.5, 2);
+  sim.Run();
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_DOUBLE_EQ(wf.result().value, 5);
+  OracleReport oracle = ComputeOracle(sim, 0, 0, 6, AggregateKind::kMax,
+                                      values);
+  EXPECT_EQ(oracle.hc.size(), 1u);
+  EXPECT_TRUE(oracle.Contains(wf.result().value));
+}
+
+TEST(WildfireTest, FailureFreeExactCountViaUnionCombiner) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    topology::Graph g = *topology::MakeRandom(300, 5.0, seed);
+    std::vector<double> values(300, 1.0);
+    sim::Simulator sim(g, sim::SimOptions{});
+    WildfireProtocol wf(
+        &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                          &values, 12));
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.Run();
+    ASSERT_TRUE(wf.result().declared);
+    EXPECT_DOUBLE_EQ(wf.result().value, 300) << "seed " << seed;
+  }
+}
+
+TEST(WildfireTest, FailureFreeExactSumAndAvgViaUnionCombiner) {
+  topology::Graph g = *topology::MakeGrid(12);
+  std::vector<double> values = core::MakeZipfValues(g.num_hosts(), 5);
+  double truth_sum = 0;
+  for (double v : values) truth_sum += v;
+
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim,
+      MakeContext(AggregateKind::kSum, CombinerKind::kUnionSum, &values, 13));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(wf.result().value, truth_sum);
+
+  sim::Simulator sim2(g, sim::SimOptions{});
+  WildfireProtocol wf2(
+      &sim2, MakeContext(AggregateKind::kAverage, CombinerKind::kUnionAverage,
+                         &values, 13));
+  sim2.AttachProgram(&wf2);
+  wf2.Start(0);
+  sim2.Run();
+  EXPECT_DOUBLE_EQ(wf2.result().value,
+                   truth_sum / static_cast<double>(g.num_hosts()));
+}
+
+TEST(WildfireTest, MinEqualsGlobalMinFailureFree) {
+  topology::Graph g = *topology::MakePowerLaw(500, 2.9, 7);
+  std::vector<double> values = core::MakeZipfValues(500, 11);
+  double truth = *std::min_element(values.begin(), values.end());
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kMin, CombinerKind::kMin, &values, 14));
+  sim.AttachProgram(&wf);
+  wf.Start(3);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(wf.result().value, truth);
+}
+
+// ---- Theorem 5.1 property: Single-Site Validity under churn -------------
+//
+// Parameterized across (topology, aggregate, churn level, seed). Exact
+// union combiners isolate the protocol property from sketch error: the
+// declared value must lie inside the ORACLE interval in every run.
+
+enum class Topo { kRandom, kPowerLaw, kGrid, kGnutellaLike };
+
+class WildfireValidityTest
+    : public ::testing::TestWithParam<std::tuple<Topo, AggregateKind, int>> {};
+
+TEST_P(WildfireValidityTest, DeclaredValueWithinOracleBounds) {
+  auto [topo, agg, removals] = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    topology::Graph g = [&] {
+      switch (topo) {
+        case Topo::kRandom:
+          return *topology::MakeRandom(400, 5.0, seed);
+        case Topo::kPowerLaw:
+          return *topology::MakePowerLaw(400, 2.9, seed);
+        case Topo::kGrid:
+          return *topology::MakeGrid(20);
+        case Topo::kGnutellaLike:
+          return *topology::MakeGnutellaLike(400, seed);
+      }
+      return *topology::MakeRandom(400, 5.0, seed);
+    }();
+    std::vector<double> values = core::MakeZipfValues(g.num_hosts(), seed);
+    CombinerKind combiner = CombinerFor(agg, /*exact=*/true);
+    // D-hat must overestimate the *stable* diameter, which churn can
+    // stretch well past the static one; 2*D + 4 is a comfortable margin.
+    Rng diam_rng(7);
+    double d_hat =
+        2.0 * topology::EstimateDiameter(g, 3, &diam_rng) + 4.0;
+
+    sim::SimOptions opts;
+    sim::Simulator sim(g, opts);
+    Rng churn_rng(seed * 1000 + removals);
+    auto events =
+        sim::MakeUniformChurn(g.num_hosts(), 0, removals, 0.0,
+                              2.0 * d_hat, &churn_rng);
+    sim::ScheduleChurn(&sim, events);
+
+    WildfireProtocol wf(&sim, MakeContext(agg, combiner, &values, d_hat));
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.Run();
+
+    ASSERT_TRUE(wf.result().declared);
+    OracleReport oracle =
+        ComputeOracle(sim, 0, 0.0, 2.0 * d_hat, agg, values);
+    EXPECT_TRUE(oracle.Contains(wf.result().value))
+        << "topo=" << static_cast<int>(topo) << " agg="
+        << AggregateKindName(agg) << " removals=" << removals << " seed="
+        << seed << " value=" << wf.result().value << " bounds=["
+        << oracle.q_low << "," << oracle.q_high << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WildfireValidityTest,
+    ::testing::Combine(::testing::Values(Topo::kRandom, Topo::kPowerLaw,
+                                         Topo::kGrid, Topo::kGnutellaLike),
+                       ::testing::Values(AggregateKind::kMin,
+                                         AggregateKind::kMax,
+                                         AggregateKind::kCount,
+                                         AggregateKind::kSum),
+                       ::testing::Values(0, 40, 120)));
+
+// ---- Optimizations -------------------------------------------------------
+
+TEST(WildfireTest, OptimizationsPreserveTheAnswer) {
+  topology::Graph g = *topology::MakeRandom(120, 5.0, 21);
+  std::vector<double> values = core::MakeZipfValues(120, 21);
+  double expected = -1;
+  for (bool piggyback : {true, false}) {
+    for (bool early : {true, false}) {
+      for (bool coalesce : {true, false}) {
+        sim::Simulator sim(g, sim::SimOptions{});
+        WildfireOptions wopts;
+        wopts.piggyback_broadcast = piggyback;
+        wopts.early_termination = early;
+        wopts.coalesce_floods = coalesce;
+        WildfireProtocol wf(
+            &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                              &values, 12),
+            wopts);
+        sim.AttachProgram(&wf);
+        wf.Start(0);
+        sim.Run();
+        ASSERT_TRUE(wf.result().declared);
+        if (expected < 0) expected = wf.result().value;
+        EXPECT_DOUBLE_EQ(wf.result().value, expected)
+            << "piggyback=" << piggyback << " early=" << early
+            << " coalesce=" << coalesce;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(expected, 120);
+}
+
+TEST(WildfireTest, PiggybackSavesMessages) {
+  topology::Graph g = *topology::MakeRandom(300, 5.0, 22);
+  std::vector<double> values = core::MakeZipfValues(300, 22);
+  uint64_t with = 0;
+  uint64_t without = 0;
+  for (bool piggyback : {true, false}) {
+    sim::Simulator sim(g, sim::SimOptions{});
+    WildfireOptions wopts;
+    wopts.piggyback_broadcast = piggyback;
+    WildfireProtocol wf(
+        &sim, MakeContext(AggregateKind::kMax, CombinerKind::kMax, &values, 12),
+        wopts);
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.Run();
+    (piggyback ? with : without) = sim.metrics().messages_sent();
+  }
+  EXPECT_LT(with, without);
+}
+
+TEST(WildfireTest, WirelessGridCostsLessThanPointToPoint) {
+  // On the sensor grid a transmission reaches all 8 neighbors at once
+  // (paper §5.3: worst case drops from 2*Dh*|E| to 2*Dh*|H|).
+  topology::Graph g = *topology::MakeGrid(15);
+  std::vector<double> values = core::MakeZipfValues(g.num_hosts(), 3);
+  uint64_t wireless_cost = 0;
+  uint64_t p2p_cost = 0;
+  for (auto medium :
+       {sim::MediumKind::kWireless, sim::MediumKind::kPointToPoint}) {
+    sim::SimOptions opts;
+    opts.medium = medium;
+    sim::Simulator sim(g, opts);
+    WildfireProtocol wf(
+        &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                          &values, 16));
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.Run();
+    EXPECT_DOUBLE_EQ(wf.result().value, g.num_hosts());
+    (medium == sim::MediumKind::kWireless ? wireless_cost : p2p_cost) =
+        sim.metrics().messages_sent();
+  }
+  EXPECT_LT(wireless_cost, p2p_cost / 2);
+}
+
+TEST(WildfireTest, HonorsHorizonNoTrafficAfter2DhatDelta) {
+  topology::Graph g = *topology::MakeRandom(200, 5.0, 25);
+  std::vector<double> values = core::MakeZipfValues(200, 25);
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim,
+      MakeContext(AggregateKind::kCount, CombinerKind::kFmCount, &values, 20));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  EXPECT_LE(sim.metrics().last_send_time(), 40.0);
+  EXPECT_DOUBLE_EQ(wf.result().declared_at, 40.0);
+}
+
+TEST(WildfireTest, MessageTimelinePeaksNearDiameterAndDiesBy2D) {
+  // The Fig. 13(b) shape: traffic peaks around D*delta and is ~0 by
+  // 2*D*delta even with a larger D-hat.
+  topology::Graph g = *topology::MakeRandom(2000, 5.0, 26);
+  std::vector<double> values = core::MakeZipfValues(2000, 26);
+  Rng rng(1);
+  uint32_t diameter = topology::EstimateDiameter(g, 3, &rng);
+  double d_hat = 2.0 * diameter;  // deliberate overestimate
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kFmCount, &values,
+                        d_hat));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  const auto& ticks = sim.metrics().SendsPerTick();
+  size_t peak_tick = 0;
+  for (size_t t = 0; t < ticks.size(); ++t) {
+    if (ticks[t] > ticks[peak_tick]) peak_tick = t;
+  }
+  EXPECT_LE(peak_tick, 2 * diameter);
+  // All traffic dead well before the (overestimated) horizon.
+  EXPECT_LE(sim.metrics().last_send_time(), 2.0 * diameter + 4);
+}
+
+}  // namespace
+}  // namespace validity::protocols
