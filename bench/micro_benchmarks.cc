@@ -81,6 +81,47 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
 
+void BM_EventQueueTypedScheduleRun(benchmark::State& state) {
+  // The allocation-free protocol path: tagged POD events dispatched through
+  // the installed handler, no closures anywhere.
+  struct Counter {
+    int64_t fired = 0;
+    static void Handle(void* ctx, const sim::Event& event) {
+      static_cast<Counter*>(ctx)->fired += static_cast<int64_t>(event.payload);
+    }
+  };
+  for (auto _ : state) {
+    sim::EventQueue q;
+    Counter counter;
+    q.SetTypedHandler(&Counter::Handle, &counter);
+    for (int i = 0; i < state.range(0); ++i) {
+      q.ScheduleTyped(static_cast<double>(i % 97), sim::EventTag::kTimer, 0,
+                      kInvalidHost, 0, 1);
+    }
+    q.RunAll();
+    benchmark::DoNotOptimize(counter.fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueTypedScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorBroadcastFanout(benchmark::State& state) {
+  // Hub broadcast on a star: one message slab slot shared by N-1 typed
+  // deliveries (includes simulator construction, so this tracks the CSR
+  // build as well).
+  auto graph = topology::MakeStar(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::Simulator simulator(*graph, sim::SimOptions{});
+    sim::Message msg;
+    msg.kind = 1;
+    simulator.SendToNeighbors(0, msg);
+    simulator.Run();
+    benchmark::DoNotOptimize(simulator.metrics().messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * (state.range(0) - 1));
+}
+BENCHMARK(BM_SimulatorBroadcastFanout)->Arg(1000)->Arg(100000);
+
 void BM_MakeRandomTopology(benchmark::State& state) {
   for (auto _ : state) {
     auto g = topology::MakeRandom(static_cast<uint32_t>(state.range(0)), 5.0,

@@ -67,11 +67,15 @@ void AllReportProtocol::Start(HostId hq) {
   collected_ = ScalarPartial{};
   reports_collected_ = 0;
   Activate(hq, kInvalidHost, 0);
-  ScheduleProtocolTimer(hq, Horizon(), [this] {
-    result_.value = collected_.Extract(ctx_.aggregate);
-    result_.declared_at = sim_->Now();
-    result_.declared = true;
-  });
+  ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
+}
+
+void AllReportProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  (void)self;
+  if (local_id != kTimerDeclare) return;
+  result_.value = collected_.Extract(ctx_.aggregate);
+  result_.declared_at = sim_->Now();
+  result_.declared = true;
 }
 
 void AllReportProtocol::OnMessage(HostId self, const sim::Message& msg) {

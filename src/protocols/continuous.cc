@@ -33,6 +33,28 @@ Status ContinuousWildfire::Start(HostId hq) {
   return Status::Ok();
 }
 
+void ContinuousWildfire::OnMessage(HostId self, const sim::Message& msg) {
+  // Stale traffic from a finished round is dropped by the current round's
+  // per-instance kind tag, exactly as if the current round were attached
+  // directly.
+  if (rounds_[current_round_] != nullptr) {
+    rounds_[current_round_]->OnMessage(self, msg);
+  }
+}
+
+void ContinuousWildfire::OnTimer(HostId self, uint64_t timer_id) {
+  // A round's declaration timer fires at its horizon — the very instant the
+  // next round launches — so the predecessor must still see its timers.
+  ForEachLiveRound(
+      [&](WildfireProtocol* round) { round->OnTimer(self, timer_id); });
+}
+
+void ContinuousWildfire::OnNeighborFailure(HostId self, HostId failed) {
+  if (rounds_[current_round_] != nullptr) {
+    rounds_[current_round_]->OnNeighborFailure(self, failed);
+  }
+}
+
 void ContinuousWildfire::LaunchRound(uint32_t w) {
   if (!sim_->IsAlive(hq_)) return;  // the registering host left
   QueryContext round_ctx = ctx_;
@@ -41,7 +63,8 @@ void ContinuousWildfire::LaunchRound(uint32_t w) {
   rounds_[w] = std::make_unique<WildfireProtocol>(sim_, round_ctx,
                                                   wildfire_options_);
   WildfireProtocol* round = rounds_[w].get();
-  sim_->AttachProgram(round);
+  current_round_ = w;
+  sim_->AttachProgram(this);
   results_[w].issued_at = sim_->Now();
   round->Start(hq_);
   // Harvest the declared value just after the round horizon.

@@ -10,8 +10,11 @@
 // interval [t - W, t'] nests inside the window, so windowed Continuous SSV
 // follows from Theorem 5.1 round by round.
 //
-// Instances are swapped on the shared simulator; stale in-flight messages
-// from a previous round are rejected by the per-instance kind tag.
+// The executor is the simulator's attached HostProgram and multiplexes
+// callbacks to the rounds still in flight (at most the two most recent:
+// W >= 2 * D-hat * delta bounds straggler lifetime to one window). Each
+// round rejects foreign messages and timers by its per-instance tag, so
+// stale traffic from a finished round cannot corrupt the next one.
 
 #ifndef VALIDITY_PROTOCOLS_CONTINUOUS_H_
 #define VALIDITY_PROTOCOLS_CONTINUOUS_H_
@@ -37,7 +40,7 @@ struct WindowResult {
   bool declared = false;
 };
 
-class ContinuousWildfire {
+class ContinuousWildfire : public sim::HostProgram {
  public:
   /// `ctx.sketch_seed` seeds window 0; each window derives a fresh stream.
   ContinuousWildfire(sim::Simulator* sim, QueryContext ctx,
@@ -56,14 +59,31 @@ class ContinuousWildfire {
     return *rounds_[w];
   }
 
+  // HostProgram: fan callbacks out to the in-flight rounds; per-instance
+  // tags inside each round drop whatever is not theirs.
+  void OnMessage(HostId self, const sim::Message& msg) override;
+  void OnTimer(HostId self, uint64_t timer_id) override;
+  void OnNeighborFailure(HostId self, HostId failed) override;
+
  private:
   void LaunchRound(uint32_t w);
+
+  /// Invokes `fn` on the (at most two) rounds that can still have events in
+  /// flight: the current window's and its predecessor's.
+  template <typename Fn>
+  void ForEachLiveRound(Fn&& fn) {
+    uint32_t first = current_round_ > 0 ? current_round_ - 1 : 0;
+    for (uint32_t w = first; w <= current_round_ && w < rounds_.size(); ++w) {
+      if (rounds_[w] != nullptr) fn(rounds_[w].get());
+    }
+  }
 
   sim::Simulator* sim_;
   QueryContext ctx_;
   ContinuousOptions options_;
   WildfireOptions wildfire_options_;
   HostId hq_ = kInvalidHost;
+  uint32_t current_round_ = 0;
   std::vector<std::unique_ptr<WildfireProtocol>> rounds_;
   std::vector<WindowResult> results_;
 };

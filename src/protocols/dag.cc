@@ -48,18 +48,30 @@ void DagProtocol::Activate(HostId self, HostId first_parent, int32_t depth) {
 
   SimTime delta = sim_->options().delta;
   if (options_.pacing == TreePacing::kEager) {
-    ScheduleProtocolTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
-                          [this, self] {
-                            states_[self].children_known = true;
-                            MaybeCompleteEager(self);
-                          });
+    ScheduleLocalTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
+                       kTimerChildrenKnown);
   }
-  SimTime slot = SlotTime(depth, sim_->Now());
-  ScheduleProtocolTimer(self, slot, [this, self] {
-    sim_->ScheduleAt(sim_->Now(), [this, self] {
-      if (sim_->IsAlive(self)) SendUp(self);
-    });
-  });
+  // The slot handler requeues at the same instant so reports delivered at
+  // exactly the slot time are folded in before SendUp.
+  ScheduleLocalTimer(self, SlotTime(depth, sim_->Now()), kTimerSlot);
+}
+
+void DagProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  switch (local_id) {
+    case kTimerChildrenKnown:
+      states_[self].children_known = true;
+      MaybeCompleteEager(self);
+      break;
+    case kTimerSlot:
+      ScheduleLocalTimer(self, sim_->Now(), kTimerSendUp);
+      break;
+    case kTimerSendUp:
+      SendUp(self);
+      break;
+    case kTimerDeclare:
+      Declare(self);
+      break;
+  }
 }
 
 void DagProtocol::AdoptExtraParent(HostId self, HostId parent) {
@@ -85,7 +97,7 @@ void DagProtocol::Start(HostId hq) {
   start_time_ = sim_->Now();
   states_.assign(sim_->num_hosts(), HostState{});
   Activate(hq, kInvalidHost, 0);
-  ScheduleProtocolTimer(hq, Horizon(), [this, hq] { Declare(hq); });
+  ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
 }
 
 void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {

@@ -52,6 +52,14 @@ class DagProtocol : public ProtocolBase {
 
  private:
   enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2, kRegister = 3 };
+  enum LocalTimer : uint32_t {
+    kTimerChildrenKnown = 1,
+    kTimerSlot = 2,
+    kTimerSendUp = 3,
+    kTimerDeclare = 4,
+  };
+
+  void OnLocalTimer(HostId self, uint32_t local_id) override;
 
   struct DagBroadcastBody : sim::MessageBody {
     int32_t hop = 0;                     // sender's depth

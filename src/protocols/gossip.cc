@@ -53,10 +53,21 @@ void GossipProtocol::Activate(HostId self, int32_t hop) {
   SimTime delta = sim_->options().delta;
   SimTime first = sim_->Now() + 0.5 * delta;
   for (uint32_t r = 0; r < options_.rounds; ++r) {
-    ScheduleProtocolTimer(self, first + r * delta,
-                          [this, self] { DoRound(self); });
+    ScheduleLocalTimer(self, first + r * delta, kTimerRound);
   }
   (void)hop;
+}
+
+void GossipProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  if (local_id == kTimerRound) {
+    DoRound(self);
+    return;
+  }
+  if (local_id == kTimerDeclare) {
+    result_.value = LocalEstimate(self);
+    result_.declared_at = sim_->Now();
+    result_.declared = true;
+  }
 }
 
 void GossipProtocol::Start(HostId hq) {
@@ -66,12 +77,8 @@ void GossipProtocol::Start(HostId hq) {
   states_.assign(sim_->num_hosts(), HostState{});
   Activate(hq, 0);
   SimTime delta = sim_->options().delta;
-  ScheduleProtocolTimer(
-      hq, start_time_ + (options_.rounds + 2) * delta, [this, hq] {
-        result_.value = LocalEstimate(hq);
-        result_.declared_at = sim_->Now();
-        result_.declared = true;
-      });
+  ScheduleLocalTimer(hq, start_time_ + (options_.rounds + 2) * delta,
+                     kTimerDeclare);
 }
 
 void GossipProtocol::DoRound(HostId self) {

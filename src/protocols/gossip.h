@@ -50,6 +50,9 @@ class GossipProtocol : public ProtocolBase {
 
  private:
   enum LocalKind : uint32_t { kBroadcast = 1, kPush = 2 };
+  enum LocalTimer : uint32_t { kTimerRound = 1, kTimerDeclare = 2 };
+
+  void OnLocalTimer(HostId self, uint32_t local_id) override;
 
   struct PushBody : sim::MessageBody {
     double value = 0.0;

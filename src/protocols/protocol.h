@@ -71,6 +71,14 @@ class ProtocolBase : public sim::HostProgram {
   const ProtocolRunResult& result() const { return result_; }
   virtual std::string_view name() const = 0;
 
+  /// Routes simulator timers to this instance's OnLocalTimer, discarding
+  /// stale timers from other protocol instances (continuous queries swap
+  /// instances per window). Final: protocols implement OnLocalTimer.
+  void OnTimer(HostId self, uint64_t timer_id) final {
+    if ((timer_id >> 8) != instance_id_) return;
+    OnLocalTimer(self, static_cast<uint32_t>(timer_id & 0xff));
+  }
+
   HostId querying_host() const { return hq_; }
   SimTime start_time() const { return start_time_; }
   /// The protocol horizon T = start + 2 * d_hat * delta.
@@ -81,6 +89,7 @@ class ProtocolBase : public sim::HostProgram {
  protected:
   /// Packs a protocol-local message kind with this instance's id.
   uint32_t MakeKind(uint32_t local) const {
+    VALIDITY_DCHECK(local <= 0xff, "local kind %u exceeds the 8-bit tag", local);
     return (instance_id_ << 8) | (local & 0xff);
   }
   /// Returns true and extracts the local kind if `kind` belongs to this
@@ -91,8 +100,26 @@ class ProtocolBase : public sim::HostProgram {
     return true;
   }
 
-  /// Instance-safe timer: runs `fn` at time t iff `host` is then alive.
-  /// (Bypasses HostProgram::OnTimer so timers never cross instances.)
+  /// Instance-safe typed timer: fires OnLocalTimer(host, local_id) at time t
+  /// iff `host` is then alive. The instance id rides in the upper bits of
+  /// the simulator timer id (mirroring MakeKind), so timers never cross
+  /// instances — and the schedule is a plain typed event, no allocation.
+  void ScheduleLocalTimer(HostId host, SimTime t, uint32_t local_id) {
+    VALIDITY_DCHECK(local_id <= 0xff, "local timer id %u exceeds the 8-bit tag",
+                    local_id);
+    sim_->ScheduleTimer(
+        host, t, (static_cast<uint64_t>(instance_id_) << 8) | (local_id & 0xff));
+  }
+
+  /// Typed-timer callback; `local_id` is the value given to
+  /// ScheduleLocalTimer. Default: ignore.
+  virtual void OnLocalTimer(HostId self, uint32_t local_id) {
+    (void)self, (void)local_id;
+  }
+
+  /// Closure escape hatch for timers that do not fit the typed path: runs
+  /// `fn` at time t iff `host` is then alive. Costs one heap-allocated
+  /// closure; prefer ScheduleLocalTimer on hot paths.
   void ScheduleProtocolTimer(HostId host, SimTime t, std::function<void()> fn);
 
   double HostValue(HostId h) const {

@@ -61,14 +61,18 @@ void RandomizedReportProtocol::Start(HostId hq) {
   reports_collected_ = 0;
   sample_sum_ = 0.0;
   Activate(hq, 0);
-  ScheduleProtocolTimer(hq, Horizon(), [this] {
-    double scale = 1.0 / p_;
-    result_.value = ctx_.aggregate == AggregateKind::kCount
-                        ? static_cast<double>(reports_collected_) * scale
-                        : sample_sum_ * scale;
-    result_.declared_at = sim_->Now();
-    result_.declared = true;
-  });
+  ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
+}
+
+void RandomizedReportProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  (void)self;
+  if (local_id != kTimerDeclare) return;
+  double scale = 1.0 / p_;
+  result_.value = ctx_.aggregate == AggregateKind::kCount
+                      ? static_cast<double>(reports_collected_) * scale
+                      : sample_sum_ * scale;
+  result_.declared_at = sim_->Now();
+  result_.declared = true;
 }
 
 void RandomizedReportProtocol::OnMessage(HostId self, const sim::Message& msg) {

@@ -48,6 +48,9 @@ class RandomizedReportProtocol : public ProtocolBase {
 
  private:
   enum LocalKind : uint32_t { kBroadcast = 1, kReport = 2 };
+  enum LocalTimer : uint32_t { kTimerDeclare = 1 };
+
+  void OnLocalTimer(HostId self, uint32_t local_id) override;
 
   struct FloodBody : sim::MessageBody {
     int32_t hop = 0;

@@ -53,21 +53,31 @@ void SpanningTreeProtocol::Activate(HostId self, HostId parent,
 
   SimTime delta = sim_->options().delta;
   if (options_.pacing == TreePacing::kEager) {
-    ScheduleProtocolTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
-                          [this, self] {
-                            states_[self].children_known = true;
-                            MaybeCompleteEager(self);
-                          });
+    ScheduleLocalTimer(self, sim_->Now() + kChildDiscoveryDelay * delta,
+                       kTimerChildrenKnown);
   }
   // The report slot. In kEager it acts as a deadline fallback; in kSlotted
   // it is the only send trigger. The handler requeues at the same instant
   // so that child reports delivered at this exact time are folded in first.
-  SimTime slot = SlotTime(depth, sim_->Now());
-  ScheduleProtocolTimer(self, slot, [this, self] {
-    sim_->ScheduleAt(sim_->Now(), [this, self] {
-      if (sim_->IsAlive(self)) SendUp(self);
-    });
-  });
+  ScheduleLocalTimer(self, SlotTime(depth, sim_->Now()), kTimerSlot);
+}
+
+void SpanningTreeProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  switch (local_id) {
+    case kTimerChildrenKnown:
+      states_[self].children_known = true;
+      MaybeCompleteEager(self);
+      break;
+    case kTimerSlot:
+      ScheduleLocalTimer(self, sim_->Now(), kTimerSendUp);
+      break;
+    case kTimerSendUp:
+      SendUp(self);
+      break;
+    case kTimerDeclare:
+      Declare(self);
+      break;
+  }
 }
 
 void SpanningTreeProtocol::Start(HostId hq) {
@@ -78,7 +88,7 @@ void SpanningTreeProtocol::Start(HostId hq) {
   Activate(hq, kInvalidHost, 0);
   // Root declaration: at the horizon with whatever has been folded in
   // (kEager may declare earlier through MaybeCompleteEager).
-  ScheduleProtocolTimer(hq, Horizon(), [this, hq] { Declare(hq); });
+  ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
 }
 
 void SpanningTreeProtocol::OnMessage(HostId self, const sim::Message& msg) {

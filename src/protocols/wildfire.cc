@@ -64,12 +64,23 @@ void WildfireProtocol::Start(HostId hq) {
     FloodAggregate(hq, &st, kInvalidHost);
   }
 
-  ScheduleProtocolTimer(hq, Horizon(), [this, hq] {
-    const HostState& s = states_[hq];
-    result_.value = s.agg->Estimate();
+  ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
+}
+
+void WildfireProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
+  if (local_id == kTimerDeclare) {
+    const HostState& st = states_[self];
+    result_.value = st.agg->Estimate();
     result_.declared_at = sim_->Now();
     result_.declared = true;
-  });
+    return;
+  }
+  if (local_id == kTimerFlood) {
+    HostState& st = states_[self];
+    st.flood_pending = false;
+    if (sim_->Now() > DeadlineFor(st)) return;
+    FloodAggregate(self, &st, kInvalidHost);
+  }
 }
 
 void WildfireProtocol::FloodAggregate(HostId self, HostState* st,
@@ -141,16 +152,10 @@ void WildfireProtocol::ScheduleFlood(HostId self) {
   }
   if (st.flood_pending) return;
   st.flood_pending = true;
-  // Same instant, later sequence: runs after every delivery of this tick,
+  // Same instant, later sequence: fires after every delivery of this tick,
   // so all simultaneous arrivals are folded into a single flood
   // (Example 5.1's hosts batch per tick).
-  sim_->ScheduleAt(sim_->Now(), [this, self] {
-    HostState& s = states_[self];
-    s.flood_pending = false;
-    if (!sim_->IsAlive(self)) return;
-    if (sim_->Now() > DeadlineFor(s)) return;
-    FloodAggregate(self, &s, kInvalidHost);
-  });
+  ScheduleLocalTimer(self, sim_->Now(), kTimerFlood);
 }
 
 void WildfireProtocol::HandleAggregate(HostId self, HostId from,

@@ -53,6 +53,9 @@ class WildfireProtocol : public ProtocolBase {
 
  private:
   enum LocalKind : uint32_t { kBroadcast = 1, kConvergecast = 2 };
+  enum LocalTimer : uint32_t { kTimerDeclare = 1, kTimerFlood = 2 };
+
+  void OnLocalTimer(HostId self, uint32_t local_id) override;
 
   struct WildfireBody : sim::MessageBody {
     int32_t hop = 0;  // sender's level (broadcast only)

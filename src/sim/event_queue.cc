@@ -1,30 +1,214 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace validity::sim {
 
-void EventQueue::ScheduleAt(SimTime t, Action action) {
+namespace {
+
+/// Map hash over the timestamp's bit pattern.
+uint64_t HashKey(uint64_t key) { return Mix64(key); }
+
+}  // namespace
+
+EventQueue::EventQueue() : map_(64) {
+  heap_.reserve(64);
+  buckets_.reserve(64);
+}
+
+uint64_t EventQueue::TimeKey(SimTime t) {
+  uint64_t key;
+  static_assert(sizeof(key) == sizeof(t));
+  std::memcpy(&key, &t, sizeof(key));
+  return key;
+}
+
+void EventQueue::MapGrow() {
+  std::vector<MapCell> old = std::move(map_);
+  map_.assign(old.size() * 2, MapCell{});
+  size_t mask = map_.size() - 1;
+  for (const MapCell& cell : old) {
+    if (cell.bucket == kNil) continue;
+    size_t i = HashKey(cell.key) & mask;
+    while (map_[i].bucket != kNil) i = (i + 1) & mask;
+    map_[i] = cell;
+  }
+}
+
+uint32_t* EventQueue::MapFindOrInsert(uint64_t key) {
+  if ((map_used_ + 1) * 2 > map_.size()) MapGrow();
+  size_t mask = map_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (map_[i].bucket != kNil) {
+    if (map_[i].key == key) return &map_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  map_[i].key = key;  // bucket stays kNil: caller fills it in
+  return &map_[i].bucket;
+}
+
+void EventQueue::MapErase(uint64_t key) {
+  size_t mask = map_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (map_[i].bucket == kNil || map_[i].key != key) i = (i + 1) & mask;
+  // Backward-shift deletion keeps probe chains unbroken without tombstones.
+  size_t hole = i;
+  size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (map_[j].bucket == kNil) break;
+    size_t home = HashKey(map_[j].key) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      map_[hole] = map_[j];
+      hole = j;
+    }
+  }
+  map_[hole].bucket = kNil;
+  --map_used_;
+}
+
+uint32_t EventQueue::BucketFor(SimTime t) {
   VALIDITY_DCHECK(t >= now_, "event scheduled in the past (%f < %f)", t, now_);
-  heap_.push(Entry{t, next_seq_++, std::move(action)});
+  t += 0.0;  // normalize -0.0 so bit-pattern keys compare equal
+  uint64_t key = TimeKey(t);
+  uint32_t* cell = MapFindOrInsert(key);
+  if (*cell != kNil) return *cell;
+  uint32_t index;
+  if (free_bucket_ != kNil) {
+    index = free_bucket_;
+    free_bucket_ = buckets_[index].next_free;
+  } else {
+    index = static_cast<uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  Bucket& bucket = buckets_[index];
+  bucket.time = t;
+  bucket.head = 0;
+  *cell = index;
+  ++map_used_;
+  HeapPush(index);
+  return index;
+}
+
+void EventQueue::HeapPush(uint32_t bucket_index) {
+  // Implicit 4-ary min-heap over distinct bucket times, hole percolation.
+  SimTime t = buckets_[bucket_index].time;
+  size_t i = heap_.size();
+  heap_.push_back(bucket_index);
+  while (i > 0) {
+    size_t parent = (i - 1) / kHeapArity;
+    if (t >= buckets_[heap_[parent]].time) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = bucket_index;
+}
+
+void EventQueue::HeapPopTop() {
+  uint32_t moved = heap_.back();
+  heap_.pop_back();
+  size_t n = heap_.size();
+  if (n == 0) return;
+  SimTime moved_time = buckets_[moved].time;
+  size_t i = 0;
+  for (;;) {
+    size_t first_child = i * kHeapArity + 1;
+    if (first_child >= n) break;
+    size_t last_child = std::min(first_child + kHeapArity, n);
+    size_t best = first_child;
+    SimTime best_time = buckets_[heap_[best]].time;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      SimTime ct = buckets_[heap_[c]].time;
+      if (ct < best_time) {
+        best = c;
+        best_time = ct;
+      }
+    }
+    if (best_time >= moved_time) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+Event EventQueue::PopNext() {
+  uint32_t index = heap_[0];
+  Bucket& bucket = buckets_[index];
+  now_ = bucket.time;
+  Event event = bucket.events[bucket.head++];
+  if (bucket.head == bucket.events.size()) {
+    // Drained: drop out of the calendar but keep the vector capacity for
+    // the next timestamp this bucket serves.
+    HeapPopTop();
+    MapErase(TimeKey(bucket.time));
+    bucket.events.clear();
+    bucket.head = 0;
+    bucket.next_free = free_bucket_;
+    free_bucket_ = index;
+  }
+  --size_;
+  return event;
+}
+
+void EventQueue::ScheduleAt(SimTime t, Action action) {
+  uint32_t slot;
+  if (!generic_free_.empty()) {
+    slot = generic_free_.back();
+    generic_free_.pop_back();
+    generic_pool_[slot] = std::move(action);
+  } else {
+    slot = static_cast<uint32_t>(generic_pool_.size());
+    generic_pool_.push_back(std::move(action));
+  }
+  uint32_t bucket = BucketFor(t);
+  buckets_[bucket].events.push_back(
+      Event{0, kInvalidHost, kInvalidHost, slot, EventTag::kGeneric});
+  ++size_;
+}
+
+void EventQueue::ScheduleTyped(SimTime t, EventTag tag, HostId a, HostId b,
+                               uint32_t slot, uint64_t payload) {
+  VALIDITY_DCHECK(tag != EventTag::kGeneric, "use ScheduleAt for closures");
+  uint32_t bucket = BucketFor(t);
+  buckets_[bucket].events.push_back(Event{payload, a, b, slot, tag});
+  ++size_;
+}
+
+void EventQueue::Reserve(size_t events) {
+  // Calendar buckets size themselves to the live event population and are
+  // recycled; what is worth warming is the bucket/heap/map skeleton (one
+  // entry per distinct pending timestamp) and the closure side table.
+  size_t distinct = std::min<size_t>(events, 4096);
+  buckets_.reserve(distinct);
+  heap_.reserve(distinct);
+  generic_pool_.reserve(std::min<size_t>(events, 1024));
 }
 
 bool EventQueue::RunOne() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; the action is moved out via const_cast,
-  // which is safe because the entry is popped immediately after.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  now_ = entry.time;
+  if (size_ == 0) return false;
+  Event event = PopNext();
   ++executed_;
-  entry.action();
+  if (event.tag == EventTag::kGeneric) {
+    // Move the closure out before running it: the action may schedule more
+    // generic events, which can grow the pool and reuse this slot.
+    Action action = std::move(generic_pool_[event.slot]);
+    generic_pool_[event.slot] = nullptr;
+    generic_free_.push_back(event.slot);
+    action();
+  } else {
+    VALIDITY_DCHECK(handler_ != nullptr, "typed event with no handler");
+    handler_(handler_ctx_, event);
+  }
   return true;
 }
 
 void EventQueue::RunUntil(SimTime t) {
-  while (!heap_.empty() && heap_.top().time <= t) RunOne();
+  while (size_ != 0 && buckets_[heap_[0]].time <= t) RunOne();
   now_ = std::max(now_, t);
 }
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace validity::sim {
 
@@ -16,11 +17,30 @@ Simulator::Simulator(const topology::Graph& graph, SimOptions options)
       alive_count_(graph.num_hosts()),
       metrics_(graph.num_hosts()) {
   VALIDITY_CHECK(options_.delta > 0, "delta must be positive");
-  adj_.resize(graph.num_hosts());
-  for (HostId h = 0; h < graph.num_hosts(); ++h) {
-    auto nbrs = graph.Neighbors(h);
-    adj_[h].assign(nbrs.begin(), nbrs.end());
+  uint32_t n = graph.num_hosts();
+  // Leave headroom so a typical churn/join script never reallocates the
+  // per-host tables mid-run.
+  size_t slack = static_cast<size_t>(n) + n / 8 + 16;
+  alive_.reserve(slack);
+  failure_time_.reserve(slack);
+  join_time_.reserve(slack);
+  nbr_extra_.resize(n);
+  nbr_extra_.reserve(slack);
+  // Adjacency as CSR, built once: one offset pass, one fill pass.
+  nbr_offset_.reserve(slack + 1);
+  nbr_offset_.resize(n + 1, 0);
+  for (HostId h = 0; h < n; ++h) {
+    nbr_offset_[h + 1] =
+        nbr_offset_[h] + static_cast<uint32_t>(graph.Neighbors(h).size());
   }
+  nbr_flat_.reserve(nbr_offset_[n] + nbr_offset_[n] / 8 + 16);
+  nbr_flat_.resize(nbr_offset_[n]);
+  for (HostId h = 0; h < n; ++h) {
+    auto nbrs = graph.Neighbors(h);
+    std::copy(nbrs.begin(), nbrs.end(), nbr_flat_.begin() + nbr_offset_[h]);
+  }
+  queue_.SetTypedHandler(&Simulator::DispatchThunk, this);
+  queue_.Reserve(std::min<size_t>(2 * static_cast<size_t>(n) + 64, 1 << 20));
 }
 
 void Simulator::Run() {
@@ -50,6 +70,60 @@ void Simulator::ScheduleAfter(SimTime dt, std::function<void()> action) {
   queue_.ScheduleAt(Now() + dt, std::move(action));
 }
 
+void Simulator::DispatchEvent(const Event& event) {
+  switch (event.tag) {
+    case EventTag::kDeliver: {
+      MessageSlot& slot = SlotAt(event.slot);
+      slot.msg.dst = event.a;
+      // Slab chunks have stable addresses, so `slot` stays valid while the
+      // program's OnMessage schedules further sends into the slab.
+      DeliverTo(event.a, slot.msg);
+      if (--slot.refs == 0) ReleaseMessageSlot(event.slot);
+      break;
+    }
+    case EventTag::kTimer:
+      if (IsAlive(event.a) && program_ != nullptr) {
+        program_->OnTimer(event.a, event.payload);
+      }
+      break;
+    case EventTag::kFailHost:
+      FailHost(event.a);
+      break;
+    case EventTag::kNeighborDetect:
+      if (IsAlive(event.a) && program_ != nullptr) {
+        program_->OnNeighborFailure(event.a, event.b);
+      }
+      break;
+    case EventTag::kGeneric:
+      VALIDITY_CHECK(false, "generic events run inside the queue");
+      break;
+  }
+}
+
+uint32_t Simulator::AcquireMessageSlot(Message&& msg, uint32_t refs) {
+  uint32_t index;
+  if (free_head_ != kNoFreeSlot) {
+    index = free_head_;
+    free_head_ = SlotAt(index).next_free;
+  } else {
+    index = slab_used_++;
+    if ((index >> kSlabChunkShift) == slab_.size()) {
+      slab_.push_back(std::make_unique<MessageSlot[]>(kSlabChunkSize));
+    }
+  }
+  MessageSlot& slot = SlotAt(index);
+  slot.msg = std::move(msg);
+  slot.refs = refs;
+  return index;
+}
+
+void Simulator::ReleaseMessageSlot(uint32_t index) {
+  MessageSlot& slot = SlotAt(index);
+  slot.msg.body.reset();  // drop the payload reference promptly
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
 void Simulator::FailHost(HostId h) {
   VALIDITY_DCHECK(h < alive_.size());
   if (!IsAlive(h)) return;
@@ -61,31 +135,31 @@ void Simulator::FailHost(HostId h) {
     // Neighbors detect the silence one heartbeat interval plus one delay
     // after the failure.
     SimTime detect_at = Now() + options_.heartbeat_interval + options_.delta;
-    for (HostId nb : adj_[h]) {
+    for (HostId nb : NeighborsOf(h)) {
       if (!IsAlive(nb)) continue;
-      queue_.ScheduleAt(detect_at, [this, nb, h] {
-        if (IsAlive(nb) && program_ != nullptr) {
-          program_->OnNeighborFailure(nb, h);
-        }
-      });
+      queue_.ScheduleTyped(detect_at, EventTag::kNeighborDetect, nb, h, 0, 0);
     }
   }
 }
 
 void Simulator::ScheduleFailure(SimTime t, HostId h) {
-  queue_.ScheduleAt(t, [this, h] { FailHost(h); });
+  queue_.ScheduleTyped(t, EventTag::kFailHost, h, kInvalidHost, 0, 0);
 }
 
 StatusOr<HostId> Simulator::AddHost(const std::vector<HostId>& neighbors) {
   for (HostId nb : neighbors) {
-    if (nb >= adj_.size()) return Status::OutOfRange("unknown neighbor");
+    if (nb >= num_hosts()) return Status::OutOfRange("unknown neighbor");
     if (!IsAlive(nb)) {
       return Status::FailedPrecondition("cannot join a failed neighbor");
     }
   }
-  HostId id = static_cast<HostId>(adj_.size());
-  adj_.emplace_back(neighbors);
-  for (HostId nb : neighbors) adj_[nb].push_back(id);
+  HostId id = num_hosts();
+  // The new host is the last one, so its own list extends the CSR tail;
+  // only the reverse edges need the overflow lists.
+  nbr_flat_.insert(nbr_flat_.end(), neighbors.begin(), neighbors.end());
+  nbr_offset_.push_back(static_cast<uint32_t>(nbr_flat_.size()));
+  for (HostId nb : neighbors) nbr_extra_[nb].push_back(id);
+  nbr_extra_.emplace_back();
   alive_.push_back(1);
   failure_time_.push_back(kNever);
   join_time_.push_back(Now());
@@ -106,43 +180,55 @@ void Simulator::DeliverTo(HostId to, const Message& msg) {
 }
 
 void Simulator::SendTo(HostId from, HostId to, Message msg) {
-  VALIDITY_DCHECK(from < adj_.size() && to < adj_.size());
+  VALIDITY_DCHECK(from < num_hosts() && to < num_hosts());
   if (!IsAlive(from)) return;  // failed hosts send nothing
   msg.src = from;
   msg.dst = to;
   Trace(TraceEventKind::kSend, from, to, msg.kind);
   metrics_.RecordSend(Now(), msg.SizeBytes());
-  SimTime arrive = Now() + options_.delta;
-  queue_.ScheduleAt(arrive,
-                    [this, to, m = std::move(msg)] { DeliverTo(to, m); });
+  uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
+  queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
+                       slot, 0);
 }
 
 void Simulator::SendToNeighbors(HostId from, Message msg) {
-  VALIDITY_DCHECK(from < adj_.size());
+  VALIDITY_DCHECK(from < num_hosts());
   if (!IsAlive(from)) return;
   msg.src = from;
+  NeighborSpan nbrs = NeighborsOf(from);
+  uint32_t alive_nbrs = 0;
+  for (HostId nb : nbrs) {
+    if (IsAlive(nb)) ++alive_nbrs;
+  }
+  SimTime arrive = Now() + options_.delta;
+  size_t bytes = msg.SizeBytes();
   if (options_.medium == MediumKind::kWireless) {
     // One transmission; every alive neighbor hears it.
     Trace(TraceEventKind::kSend, from, kInvalidHost, msg.kind);
-    metrics_.RecordSend(Now(), msg.SizeBytes());
-    SimTime arrive = Now() + options_.delta;
-    for (HostId nb : adj_[from]) {
+    metrics_.RecordSend(Now(), bytes);
+    if (alive_nbrs == 0) return;
+    uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs);
+    for (HostId nb : nbrs) {
       if (!IsAlive(nb)) continue;
-      Message copy = msg;
-      copy.dst = nb;
-      queue_.ScheduleAt(arrive,
-                        [this, nb, m = std::move(copy)] { DeliverTo(nb, m); });
+      queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
     }
     return;
   }
-  for (HostId nb : adj_[from]) {
+  // Point-to-point: one charged message per alive neighbor, one shared
+  // payload slot — zero allocations per neighbor.
+  if (alive_nbrs == 0) return;
+  uint32_t kind = msg.kind;
+  uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs);
+  for (HostId nb : nbrs) {
     if (!IsAlive(nb)) continue;
-    SendTo(from, nb, msg);
+    Trace(TraceEventKind::kSend, from, nb, kind);
+    metrics_.RecordSend(Now(), bytes);
+    queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
   }
 }
 
 void Simulator::SendDirect(HostId from, HostId to, Message msg) {
-  VALIDITY_DCHECK(from < adj_.size() && to < adj_.size());
+  VALIDITY_DCHECK(from < num_hosts() && to < num_hosts());
   VALIDITY_CHECK(options_.medium == MediumKind::kPointToPoint,
                  "direct delivery requires a point-to-point underlay");
   if (!IsAlive(from)) return;
@@ -150,14 +236,18 @@ void Simulator::SendDirect(HostId from, HostId to, Message msg) {
   msg.dst = to;
   Trace(TraceEventKind::kSend, from, to, msg.kind);
   metrics_.RecordSend(Now(), msg.SizeBytes());
-  queue_.ScheduleAt(Now() + options_.delta,
-                    [this, to, m = std::move(msg)] { DeliverTo(to, m); });
+  uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
+  queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
+                       slot, 0);
 }
 
 void Simulator::ScheduleTimer(HostId h, SimTime t, uint64_t timer_id) {
-  queue_.ScheduleAt(t, [this, h, timer_id] {
-    if (IsAlive(h) && program_ != nullptr) program_->OnTimer(h, timer_id);
-  });
+  queue_.ScheduleTyped(t, EventTag::kTimer, h, kInvalidHost, 0, timer_id);
+}
+
+void Simulator::TraceSlow(TraceEventKind kind, HostId src, HostId dst,
+                          uint32_t mkind) {
+  trace_->Record(TraceEvent{kind, Now(), src, dst, mkind});
 }
 
 }  // namespace validity::sim

@@ -15,6 +15,14 @@
 // The simulator is protocol-agnostic. A protocol implements HostProgram and
 // receives message/timer/failure callbacks; all state per host lives in the
 // protocol object.
+//
+// Internals are built for million-host runs: adjacency is a CSR layout
+// assembled once in the constructor (joined hosts append at the tail; the
+// reverse edges land in a per-host overflow list), message deliveries and
+// timers travel as typed plain-data events (see event_queue.h), and message
+// payloads live in a refcounted slab whose slots are recycled — a
+// point-to-point fan-out to k neighbors performs zero allocations per
+// neighbor in steady state.
 
 #ifndef VALIDITY_SIM_SIMULATOR_H_
 #define VALIDITY_SIM_SIMULATOR_H_
@@ -22,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -71,10 +80,67 @@ class HostProgram {
   }
 };
 
+/// A host's neighbor list: the CSR segment built at construction plus any
+/// reverse edges appended when later hosts joined. Cheap to copy; iteration
+/// and operator[] present the two segments as one contiguous sequence.
+class NeighborSpan {
+ public:
+  NeighborSpan(const HostId* base, uint32_t base_count,
+               const std::vector<HostId>* extra)
+      : base_(base),
+        base_count_(base_count),
+        extra_(extra == nullptr || extra->empty() ? nullptr : extra) {}
+
+  uint32_t size() const {
+    return base_count_ +
+           (extra_ != nullptr ? static_cast<uint32_t>(extra_->size()) : 0);
+  }
+  bool empty() const { return size() == 0; }
+
+  HostId operator[](uint32_t i) const {
+    return i < base_count_ ? base_[i] : (*extra_)[i - base_count_];
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = HostId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const HostId*;
+    using reference = HostId;
+
+    Iterator(const NeighborSpan* span, uint32_t i) : span_(span), i_(i) {}
+    HostId operator*() const { return (*span_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const NeighborSpan* span_;
+    uint32_t i_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  const HostId* base_;
+  uint32_t base_count_;
+  const std::vector<HostId>* extra_;
+};
+
 class Simulator {
  public:
   /// Builds a simulator over `graph`; all hosts start alive at time 0.
   Simulator(const topology::Graph& graph, SimOptions options);
+
+  // Not movable: the event queue holds a back-pointer to this simulator as
+  // its typed-event dispatch context (and protocols hold raw pointers too).
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   // --- time & execution -----------------------------------------------
 
@@ -86,12 +152,14 @@ class Simulator {
   /// Runs events with time <= t.
   void RunUntil(SimTime t);
   /// Schedules an arbitrary action (simulation scripting, churn, oracles).
+  /// This is the closure escape hatch; protocol hot paths use the typed
+  /// SendTo/ScheduleTimer/ScheduleFailure entry points instead.
   void ScheduleAt(SimTime t, std::function<void()> action);
   void ScheduleAfter(SimTime dt, std::function<void()> action);
 
   // --- hosts ------------------------------------------------------------
 
-  uint32_t num_hosts() const { return static_cast<uint32_t>(adj_.size()); }
+  uint32_t num_hosts() const { return static_cast<uint32_t>(alive_.size()); }
   bool IsAlive(HostId h) const {
     return h < alive_.size() && alive_[h] != 0;
   }
@@ -99,14 +167,16 @@ class Simulator {
 
   /// Neighbors as built (may include failed hosts; filter with IsAlive or
   /// use ForEachAliveNeighbor).
-  const std::vector<HostId>& NeighborsOf(HostId h) const {
-    VALIDITY_DCHECK(h < adj_.size());
-    return adj_[h];
+  NeighborSpan NeighborsOf(HostId h) const {
+    VALIDITY_DCHECK(h + 1 < nbr_offset_.size());
+    uint32_t begin = nbr_offset_[h];
+    return NeighborSpan(nbr_flat_.data() + begin, nbr_offset_[h + 1] - begin,
+                        h < nbr_extra_.size() ? &nbr_extra_[h] : nullptr);
   }
 
   template <typename Fn>
   void ForEachAliveNeighbor(HostId h, Fn&& fn) const {
-    for (HostId nb : adj_[h]) {
+    for (HostId nb : NeighborsOf(h)) {
       if (IsAlive(nb)) fn(nb);
     }
   }
@@ -146,7 +216,8 @@ class Simulator {
 
   /// Sends to every currently-alive neighbor of `from`. Point-to-point:
   /// one charged message per neighbor. Wireless: one charged transmission,
-  /// every alive neighbor receives it.
+  /// every alive neighbor receives it. Either way the payload is stored
+  /// once; per-neighbor cost is one typed event.
   void SendToNeighbors(HostId from, Message msg);
 
   /// Sends directly to an arbitrary host, bypassing overlay edges. Models a
@@ -167,20 +238,56 @@ class Simulator {
   void AttachTrace(TraceRecorder* trace) { trace_ = trace; }
 
  private:
+  /// Refcounted slab cell: one stored payload shared by every in-flight
+  /// delivery of a fan-out. Slots live in fixed-size chunks so addresses
+  /// stay stable while a delivery callback schedules further sends.
+  struct MessageSlot {
+    Message msg;
+    uint32_t refs = 0;
+    uint32_t next_free = 0;
+  };
+  static constexpr uint32_t kSlabChunkShift = 10;
+  static constexpr uint32_t kSlabChunkSize = 1u << kSlabChunkShift;
+  static constexpr uint32_t kNoFreeSlot = 0xffffffffu;
+
+  static void DispatchThunk(void* ctx, const Event& event) {
+    static_cast<Simulator*>(ctx)->DispatchEvent(event);
+  }
+  void DispatchEvent(const Event& event);
+
+  MessageSlot& SlotAt(uint32_t index) {
+    return slab_[index >> kSlabChunkShift][index & (kSlabChunkSize - 1)];
+  }
+  uint32_t AcquireMessageSlot(Message&& msg, uint32_t refs);
+  void ReleaseMessageSlot(uint32_t index);
+
   void DeliverTo(HostId to, const Message& msg);
   void CheckEventBudget() const;
   void Trace(TraceEventKind kind, HostId src, HostId dst, uint32_t mkind) {
-    if (trace_ != nullptr) {
-      trace_->Record(TraceEvent{kind, Now(), src, dst, mkind});
+    // Predicted-not-taken fast path: with no recorder attached this is one
+    // well-predicted test against a cold branch.
+    if (__builtin_expect(trace_ != nullptr, 0)) {
+      TraceSlow(kind, src, dst, mkind);
     }
   }
+  __attribute__((cold, noinline)) void TraceSlow(TraceEventKind kind,
+                                                 HostId src, HostId dst,
+                                                 uint32_t mkind);
 
   SimOptions options_;
   EventQueue queue_;
-  std::vector<std::vector<HostId>> adj_;
+  /// CSR adjacency: host h's neighbors are nbr_flat_[nbr_offset_[h] ..
+  /// nbr_offset_[h+1]) plus nbr_extra_[h] (reverse edges from later joins).
+  std::vector<uint32_t> nbr_offset_;
+  std::vector<HostId> nbr_flat_;
+  std::vector<std::vector<HostId>> nbr_extra_;
   std::vector<uint8_t> alive_;
   std::vector<SimTime> failure_time_;
   std::vector<SimTime> join_time_;
+  /// Message payload slab (stable chunked storage + free list).
+  std::vector<std::unique_ptr<MessageSlot[]>> slab_;
+  uint32_t slab_used_ = 0;
+  uint32_t free_head_ = kNoFreeSlot;
   uint32_t alive_count_ = 0;
   HostProgram* program_ = nullptr;
   TraceRecorder* trace_ = nullptr;
