@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("hosts", 10000, "grid hosts (side = sqrt)");
   flags.DefineInt("trials", 5, "trials per churn level");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
@@ -55,6 +56,7 @@ int Main(int argc, char** argv) {
   core::ChurnSweepOptions sweep;
   sweep.trials = static_cast<uint32_t>(flags.GetInt("trials"));
   sweep.base_seed = seed;
+  sweep.threads = bench::GetThreads(flags);
 
   auto cells = core::RunChurnSweep(engine, spec, /*hq=*/0, lineup,
                                    {0, 256, 1024, 2048}, sweep);

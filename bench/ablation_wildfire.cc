@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("hosts", 20000, "network size");
   flags.DefineString("topology", "random", "topology name");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
@@ -33,35 +34,51 @@ int Main(int argc, char** argv) {
   core::QueryEngine engine(&*graph,
                            core::MakeZipfValues(graph->num_hosts(), seed + 1));
 
-  TablePrinter table({"piggyback", "skip_known", "coalesce", "messages",
-                      "bytes", "vs_full_opt"});
-  uint64_t baseline = 0;
+  // The 8 toggle combinations, index-decoded once so the run configuration
+  // and the printed row can never disagree; order follows the serial
+  // nesting (piggyback outermost), so combo 0 is fully optimized.
+  struct Combo {
+    bool piggyback, skip_known, coalesce;
+  };
+  std::vector<Combo> combos;
   for (bool piggyback : {true, false}) {
     for (bool skip_known : {true, false}) {
       for (bool coalesce : {true, false}) {
+        combos.push_back({piggyback, skip_known, coalesce});
+      }
+    }
+  }
+  auto results = core::ParallelMap<core::QueryResult>(
+      combos.size(), bench::GetThreads(flags), [&](size_t i) {
         core::QuerySpec spec;
         spec.aggregate = AggregateKind::kCount;
         spec.fm_vectors = 16;
         core::RunConfig config;
         config.protocol = protocols::ProtocolKind::kWildfire;
-        config.protocol_options.wildfire.piggyback_broadcast = piggyback;
-        config.protocol_options.wildfire.skip_known_neighbors = skip_known;
-        config.protocol_options.wildfire.coalesce_floods = coalesce;
+        config.protocol_options.wildfire.piggyback_broadcast =
+            combos[i].piggyback;
+        config.protocol_options.wildfire.skip_known_neighbors =
+            combos[i].skip_known;
+        config.protocol_options.wildfire.coalesce_floods = combos[i].coalesce;
         config.sketch_seed = seed;
         auto result = engine.Run(spec, config, 0);
         VALIDITY_CHECK(result.ok());
-        if (baseline == 0) baseline = result->cost.messages;
-        table.NewRow()
-            .Cell(piggyback ? "on" : "off")
-            .Cell(skip_known ? "on" : "off")
-            .Cell(coalesce ? "on" : "off")
-            .Cell(static_cast<int64_t>(result->cost.messages))
-            .Cell(static_cast<int64_t>(result->cost.bytes))
-            .Cell(static_cast<double>(result->cost.messages) /
-                      static_cast<double>(baseline),
-                  2);
-      }
-    }
+        return *std::move(result);
+      });
+
+  TablePrinter table({"piggyback", "skip_known", "coalesce", "messages",
+                      "bytes", "vs_full_opt"});
+  const uint64_t baseline = results[0].cost.messages;  // fully optimized
+  for (size_t i = 0; i < results.size(); ++i) {
+    table.NewRow()
+        .Cell(combos[i].piggyback ? "on" : "off")
+        .Cell(combos[i].skip_known ? "on" : "off")
+        .Cell(combos[i].coalesce ? "on" : "off")
+        .Cell(static_cast<int64_t>(results[i].cost.messages))
+        .Cell(static_cast<int64_t>(results[i].cost.bytes))
+        .Cell(static_cast<double>(results[i].cost.messages) /
+                  static_cast<double>(baseline),
+              2);
   }
   bench::EmitTable(table);
   return 0;

@@ -6,18 +6,52 @@
 #ifndef VALIDITY_BENCH_BENCH_UTIL_H_
 #define VALIDITY_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "core/sweep.h"
 #include "topology/algorithms.h"
 #include "topology/generators.h"
 
 namespace validity::bench {
+
+/// Registers the standard --threads flag (0 = all hardware threads). Every
+/// bench that fans independent runs out through core::ParallelFor takes it;
+/// results are bit-identical at any value.
+inline void DefineThreadsFlag(FlagSet* flags) {
+  flags->DefineInt("threads", 0,
+                   "worker threads for independent runs (0 = hardware)");
+}
+
+inline uint32_t GetThreads(const FlagSet& flags) {
+  int64_t threads = flags.GetInt("threads");
+  VALIDITY_CHECK(threads >= 0, "--threads must be >= 0, got %lld",
+                 static_cast<long long>(threads));
+  // Clamp before the uint32 cast so huge values cannot wrap to 0 ("auto").
+  return static_cast<uint32_t>(
+      std::min<int64_t>(threads, core::kMaxSweepThreads));
+}
+
+/// Parses "5000,10000,20000" into {5000, 10000, 20000}.
+inline std::vector<uint32_t> ParseUint32List(const std::string& text) {
+  std::vector<uint32_t> values;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    values.push_back(
+        static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return values;
+}
 
 /// Builds one of the paper's §6.1 topologies. `name` is one of
 /// "gnutella" (synthetic stand-in for the 39,046-host crawl), "random"

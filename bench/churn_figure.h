@@ -26,6 +26,9 @@ struct ChurnFigureConfig {
   uint32_t trials = 5;
   uint32_t fm_vectors = 16;
   uint64_t seed = 42;
+  /// Workers for the (R, trial, protocol) grid; 0 = hardware threads.
+  /// Output is bit-identical at any thread count.
+  uint32_t threads = 0;
 };
 
 inline void RunChurnFigure(const ChurnFigureConfig& config) {
@@ -48,6 +51,11 @@ inline void RunChurnFigure(const ChurnFigureConfig& config) {
   core::ChurnSweepOptions sweep;
   sweep.trials = config.trials;
   sweep.base_seed = config.seed;
+  sweep.threads = config.threads;
+  // stderr, not stdout: the resolved count is machine-dependent and stdout
+  // must stay bit-identical across hosts and thread counts.
+  std::fprintf(stderr, "sweep threads: %u\n",
+               core::ResolveThreads(config.threads));
 
   auto cells = core::RunChurnSweep(engine, spec, /*hq=*/0,
                                    core::StandardLineup(), config.removals,
@@ -88,24 +96,16 @@ inline ChurnFigureConfig ParseChurnFlags(int argc, char** argv,
   flags.DefineInt("fm_vectors", config.fm_vectors, "FM repetitions c");
   flags.DefineInt("seed", static_cast<int64_t>(config.seed), "base seed");
   flags.DefineString("removals", "", "comma-separated R values (override)");
+  DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   config.topology = flags.GetString("topology");
   config.hosts = static_cast<uint32_t>(flags.GetInt("hosts"));
   config.trials = static_cast<uint32_t>(flags.GetInt("trials"));
   config.fm_vectors = static_cast<uint32_t>(flags.GetInt("fm_vectors"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.threads = GetThreads(flags);
   const std::string& removals = flags.GetString("removals");
-  if (!removals.empty()) {
-    config.removals.clear();
-    size_t pos = 0;
-    while (pos < removals.size()) {
-      size_t comma = removals.find(',', pos);
-      if (comma == std::string::npos) comma = removals.size();
-      config.removals.push_back(
-          static_cast<uint32_t>(std::stoul(removals.substr(pos, comma - pos))));
-      pos = comma + 1;
-    }
-  }
+  if (!removals.empty()) config.removals = ParseUint32List(removals);
   return config;
 }
 

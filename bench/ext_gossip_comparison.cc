@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
                   "rounds for the weight mass to diffuse from hq)");
   flags.DefineInt("trials", 5, "trials per churn level");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint32_t hosts = static_cast<uint32_t>(flags.GetInt("hosts"));
   const uint32_t rounds = static_cast<uint32_t>(flags.GetInt("rounds"));
@@ -43,9 +44,79 @@ int Main(int argc, char** argv) {
   std::vector<double> values(hosts, 1.0);
   core::QueryEngine engine(&*graph, values);
 
+  // Every (churn level, trial) pair is one independent task running both
+  // systems under the same churn seed; results merge per level in trial
+  // order, so the table is thread-count-invariant.
+  const std::vector<uint32_t> levels{0u, hosts / 20, hosts / 10, hosts / 5};
+  struct TrialRun {
+    double gossip_value = 0.0;
+    double gossip_msgs = 0.0;
+    bool gossip_invalid = false;
+    double truth_err = 0.0;
+    double wf_value = 0.0;
+    double wf_msgs = 0.0;
+    bool wf_invalid = false;
+  };
+  auto runs = core::ParallelMap<TrialRun>(
+      levels.size() * trials, bench::GetThreads(flags), [&](size_t i) {
+        const uint32_t removals = levels[i / trials];
+        const uint32_t t = static_cast<uint32_t>(i % trials);
+        uint64_t churn_seed = Mix64(seed + removals * 131 + t);
+        TrialRun run;
+        // Gossip run.
+        {
+          sim::Simulator sim(*graph, sim::SimOptions{});
+          Rng churn_rng(churn_seed);
+          if (removals > 0) {
+            sim::ScheduleChurn(&sim,
+                               sim::MakeUniformChurn(hosts, 0, removals, 0.0,
+                                                     rounds, &churn_rng));
+          }
+          protocols::QueryContext ctx;
+          ctx.aggregate = AggregateKind::kCount;
+          ctx.values = &values;
+          ctx.d_hat = engine.EstimatedDiameter() + 2.0;
+          protocols::GossipOptions gopts;
+          gopts.rounds = rounds;
+          gopts.partner_seed = churn_seed;
+          protocols::GossipProtocol gossip(&sim, ctx, gopts);
+          sim.AttachProgram(&gossip);
+          gossip.Start(0);
+          sim.Run();
+          run.gossip_value = gossip.result().value;
+          run.gossip_msgs =
+              static_cast<double>(sim.metrics().messages_sent());
+          protocols::OracleReport oracle = protocols::ComputeOracle(
+              sim, 0, 0, rounds + 2, AggregateKind::kCount, values);
+          // 2% tolerance so float noise on a converged static run does not
+          // read as invalidity; churn-induced drift is far larger.
+          run.gossip_invalid =
+              !oracle.ContainsWithin(gossip.result().value, 1.02);
+          run.truth_err = std::fabs(gossip.result().value /
+                                        static_cast<double>(hosts - removals) -
+                                    1.0);
+        }
+        // Wildfire run under the same churn seed.
+        {
+          core::QuerySpec spec;
+          spec.aggregate = AggregateKind::kCount;
+          spec.fm_vectors = 16;
+          core::RunConfig config;
+          config.churn_removals = removals;
+          config.churn_seed = churn_seed;
+          config.sketch_seed = churn_seed + 1;
+          auto result = engine.Run(spec, config, 0);
+          VALIDITY_CHECK(result.ok());
+          run.wf_value = result->value;
+          run.wf_msgs = static_cast<double>(result->cost.messages);
+          run.wf_invalid = !result->validity.within_slack;
+        }
+        return run;
+      });
+
   TablePrinter table({"R", "gossip_mean", "gossip_err%", "gossip_invalid%(2%slack)",
                       "wf_mean", "wf_invalid%", "gossip_msgs", "wf_msgs"});
-  for (uint32_t removals : {0u, hosts / 20, hosts / 10, hosts / 5}) {
+  for (size_t li = 0; li < levels.size(); ++li) {
     RunningStat gossip_value;
     RunningStat wf_value;
     RunningStat gossip_msgs;
@@ -54,58 +125,17 @@ int Main(int argc, char** argv) {
     uint32_t wf_invalid = 0;
     double truth_err = 0;
     for (uint32_t t = 0; t < trials; ++t) {
-      uint64_t churn_seed = Mix64(seed + removals * 131 + t);
-      // Gossip run.
-      {
-        sim::Simulator sim(*graph, sim::SimOptions{});
-        Rng churn_rng(churn_seed);
-        if (removals > 0) {
-          sim::ScheduleChurn(&sim,
-                             sim::MakeUniformChurn(hosts, 0, removals, 0.0,
-                                                   rounds, &churn_rng));
-        }
-        protocols::QueryContext ctx;
-        ctx.aggregate = AggregateKind::kCount;
-        ctx.values = &values;
-        ctx.d_hat = engine.EstimatedDiameter() + 2.0;
-        protocols::GossipOptions gopts;
-        gopts.rounds = rounds;
-        gopts.partner_seed = churn_seed;
-        protocols::GossipProtocol gossip(&sim, ctx, gopts);
-        sim.AttachProgram(&gossip);
-        gossip.Start(0);
-        sim.Run();
-        gossip_value.Add(gossip.result().value);
-        gossip_msgs.Add(static_cast<double>(sim.metrics().messages_sent()));
-        protocols::OracleReport oracle = protocols::ComputeOracle(
-            sim, 0, 0, rounds + 2, AggregateKind::kCount, values);
-        // 2% tolerance so float noise on a converged static run does not
-        // read as invalidity; churn-induced drift is far larger.
-        if (!oracle.ContainsWithin(gossip.result().value, 1.02)) {
-          ++gossip_invalid;
-        }
-        truth_err += std::fabs(gossip.result().value /
-                                   static_cast<double>(hosts - removals) -
-                               1.0);
-      }
-      // Wildfire run under the same churn seed.
-      {
-        core::QuerySpec spec;
-        spec.aggregate = AggregateKind::kCount;
-        spec.fm_vectors = 16;
-        core::RunConfig config;
-        config.churn_removals = removals;
-        config.churn_seed = churn_seed;
-        config.sketch_seed = churn_seed + 1;
-        auto result = engine.Run(spec, config, 0);
-        VALIDITY_CHECK(result.ok());
-        wf_value.Add(result->value);
-        wf_msgs.Add(static_cast<double>(result->cost.messages));
-        if (!result->validity.within_slack) ++wf_invalid;
-      }
+      const TrialRun& run = runs[li * trials + t];
+      gossip_value.Add(run.gossip_value);
+      gossip_msgs.Add(run.gossip_msgs);
+      if (run.gossip_invalid) ++gossip_invalid;
+      truth_err += run.truth_err;
+      wf_value.Add(run.wf_value);
+      wf_msgs.Add(run.wf_msgs);
+      if (run.wf_invalid) ++wf_invalid;
     }
     table.NewRow()
-        .Cell(static_cast<int64_t>(removals))
+        .Cell(static_cast<int64_t>(levels[li]))
         .Cell(gossip_value.mean(), 1)
         .Cell(100.0 * truth_err / trials, 1)
         .Cell(100.0 * gossip_invalid / trials, 0)

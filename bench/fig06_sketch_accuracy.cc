@@ -20,6 +20,7 @@ int Main(int argc, char** argv) {
   FlagSet flags;
   flags.DefineInt("trials", 10, "trials per (|M|, c) cell");
   flags.DefineInt("seed", 42, "base RNG seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const int trials = static_cast<int>(flags.GetInt("trials"));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
@@ -31,31 +32,49 @@ int Main(int argc, char** argv) {
   auto zipf = ZipfGenerator::Make(10, 500, 1.0);
   VALIDITY_CHECK(zipf.ok());
 
+  // Grid cells are independent (each trial seeds its own Rng from the cell
+  // coordinates), so they run on the sweep driver; rows emit in grid order.
+  const std::vector<int> log_sizes{10, 12, 14};
+  const std::vector<uint32_t> repetitions{2u, 4u, 8u, 16u, 32u, 64u};
+  struct Row {
+    size_t set_size;
+    uint32_t c;
+    RunningStat count_ratio;
+    RunningStat sum_ratio;
+  };
+  auto rows = core::ParallelMap<Row>(
+      log_sizes.size() * repetitions.size(), bench::GetThreads(flags),
+      [&](size_t i) {
+        const int log_size = log_sizes[i / repetitions.size()];
+        const uint32_t c = repetitions[i % repetitions.size()];
+        Row row;
+        row.set_size = size_t{1} << log_size;
+        row.c = c;
+        for (int t = 0; t < trials; ++t) {
+          // Bit-packed so no (size, c, t) cells collide at any --trials.
+          Rng rng(Mix64(seed ^ (uint64_t{static_cast<uint32_t>(log_size)} << 40) ^
+                        (uint64_t{c} << 20) ^ static_cast<uint64_t>(t)));
+          std::vector<int64_t> values = zipf->SampleMany(&rng, row.set_size);
+          int64_t truth_sum = 0;
+          for (int64_t v : values) truth_sum += v;
+          sketch::FmSetEstimate est =
+              sketch::EstimateSet(sketch::FmParams{c}, values, &rng);
+          row.count_ratio.Add(est.count / static_cast<double>(row.set_size));
+          row.sum_ratio.Add(est.sum / static_cast<double>(truth_sum));
+        }
+        return row;
+      });
+
   TablePrinter table({"set_size", "c", "count_ratio_mean", "count_ratio_ci95",
                       "sum_ratio_mean", "sum_ratio_ci95"});
-  for (int log_size : {10, 12, 14}) {
-    const size_t set_size = size_t{1} << log_size;
-    for (uint32_t c : {2u, 4u, 8u, 16u, 32u, 64u}) {
-      RunningStat count_ratio;
-      RunningStat sum_ratio;
-      for (int t = 0; t < trials; ++t) {
-        Rng rng(Mix64(seed + 1000 * log_size + 10 * c + t));
-        std::vector<int64_t> values = zipf->SampleMany(&rng, set_size);
-        int64_t truth_sum = 0;
-        for (int64_t v : values) truth_sum += v;
-        sketch::FmSetEstimate est =
-            sketch::EstimateSet(sketch::FmParams{c}, values, &rng);
-        count_ratio.Add(est.count / static_cast<double>(set_size));
-        sum_ratio.Add(est.sum / static_cast<double>(truth_sum));
-      }
-      table.NewRow()
-          .Cell(static_cast<int64_t>(set_size))
-          .Cell(static_cast<int64_t>(c))
-          .Cell(count_ratio.mean(), 3)
-          .Cell(count_ratio.ci95_half_width(), 3)
-          .Cell(sum_ratio.mean(), 3)
-          .Cell(sum_ratio.ci95_half_width(), 3);
-    }
+  for (const Row& row : rows) {
+    table.NewRow()
+        .Cell(static_cast<int64_t>(row.set_size))
+        .Cell(static_cast<int64_t>(row.c))
+        .Cell(row.count_ratio.mean(), 3)
+        .Cell(row.count_ratio.ci95_half_width(), 3)
+        .Cell(row.sum_ratio.mean(), 3)
+        .Cell(row.sum_ratio.ci95_half_width(), 3);
   }
   bench::EmitTable(table);
   return 0;

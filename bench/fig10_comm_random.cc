@@ -39,62 +39,71 @@ int Main(int argc, char** argv) {
   flags.DefineInt("seed", 42, "base seed");
   flags.DefineBool("gnutella_point", true,
                    "also measure the Gnutella reference topology");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
-  std::vector<uint32_t> sizes;
-  {
-    const std::string& text = flags.GetString("sizes");
-    size_t pos = 0;
-    while (pos < text.size()) {
-      size_t comma = text.find(',', pos);
-      if (comma == std::string::npos) comma = text.size();
-      sizes.push_back(
-          static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
-      pos = comma + 1;
-    }
-  }
+  std::vector<uint32_t> sizes = bench::ParseUint32List(flags.GetString("sizes"));
 
   bench::PrintHeader(
       "Fig. 10 - communication cost on Random topologies (count)",
       "messages vs |H|; WILDFIRE D-hat curves overlap; ST ~ DAG; WILDFIRE "
       "~4-5x ST");
 
+  // One figure point per (topology, size); each builds its own graph and
+  // engine, so points run concurrently and emit in order.
+  std::vector<std::pair<std::string, uint32_t>> points;
+  for (uint32_t n : sizes) points.emplace_back("random", n);
+  if (flags.GetBool("gnutella_point")) {
+    points.emplace_back("gnutella", topology::kGnutellaCrawlSize);
+  }
+
+  struct Row {
+    std::string topo;
+    uint32_t hosts;
+    double diameter;
+    uint64_t st, dag, wf1, wf2, wf4;
+  };
+  auto rows = core::ParallelMap<Row>(
+      points.size(), bench::GetThreads(flags), [&](size_t i) {
+        const auto& [topo, n] = points[i];
+        auto graph = bench::MakeTopology(topo, n, seed);
+        VALIDITY_CHECK(graph.ok());
+        core::QueryEngine engine(&*graph,
+                                 core::MakeZipfValues(graph->num_hosts(),
+                                                      seed + 1));
+        double diameter = engine.EstimatedDiameter();
+        Row row;
+        row.topo = topo;
+        row.hosts = graph->num_hosts();
+        row.diameter = diameter;
+        row.st = Messages(engine, protocols::ProtocolKind::kSpanningTree,
+                          diameter + 2, 2, seed);
+        row.dag = Messages(engine, protocols::ProtocolKind::kDag,
+                           diameter + 2, 2, seed);
+        row.wf1 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                           diameter + 2, 2, seed);
+        row.wf2 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                           2 * diameter, 2, seed);
+        row.wf4 = Messages(engine, protocols::ProtocolKind::kWildfire,
+                           4 * diameter, 2, seed);
+        return row;
+      });
+
   TablePrinter table({"topology", "hosts", "diam", "spanning-tree", "dag-k2",
                       "wf_dhat=D+2", "wf_dhat=2D", "wf_dhat=4D",
                       "wf/st_ratio"});
-  auto measure = [&](const std::string& topo, uint32_t n) {
-    auto graph = bench::MakeTopology(topo, n, seed);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    double diameter = engine.EstimatedDiameter();
-    uint64_t st = Messages(engine, protocols::ProtocolKind::kSpanningTree,
-                           diameter + 2, 2, seed);
-    uint64_t dag = Messages(engine, protocols::ProtocolKind::kDag,
-                            diameter + 2, 2, seed);
-    uint64_t wf1 = Messages(engine, protocols::ProtocolKind::kWildfire,
-                            diameter + 2, 2, seed);
-    uint64_t wf2 = Messages(engine, protocols::ProtocolKind::kWildfire,
-                            2 * diameter, 2, seed);
-    uint64_t wf4 = Messages(engine, protocols::ProtocolKind::kWildfire,
-                            4 * diameter, 2, seed);
+  for (const Row& row : rows) {
     table.NewRow()
-        .Cell(topo)
-        .Cell(static_cast<int64_t>(graph->num_hosts()))
-        .Cell(diameter, 0)
-        .Cell(static_cast<int64_t>(st))
-        .Cell(static_cast<int64_t>(dag))
-        .Cell(static_cast<int64_t>(wf1))
-        .Cell(static_cast<int64_t>(wf2))
-        .Cell(static_cast<int64_t>(wf4))
-        .Cell(static_cast<double>(wf1) / static_cast<double>(st), 2);
-  };
-
-  for (uint32_t n : sizes) measure("random", n);
-  if (flags.GetBool("gnutella_point")) {
-    measure("gnutella", topology::kGnutellaCrawlSize);
+        .Cell(row.topo)
+        .Cell(static_cast<int64_t>(row.hosts))
+        .Cell(row.diameter, 0)
+        .Cell(static_cast<int64_t>(row.st))
+        .Cell(static_cast<int64_t>(row.dag))
+        .Cell(static_cast<int64_t>(row.wf1))
+        .Cell(static_cast<int64_t>(row.wf2))
+        .Cell(static_cast<int64_t>(row.wf4))
+        .Cell(static_cast<double>(row.wf1) / static_cast<double>(row.st), 2);
   }
   bench::EmitTable(table);
   return 0;

@@ -35,53 +35,56 @@ int Main(int argc, char** argv) {
   FlagSet flags;
   flags.DefineString("sides", "50,70,100", "comma-separated grid sides");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
-  std::vector<uint32_t> sides;
-  {
-    const std::string& text = flags.GetString("sides");
-    size_t pos = 0;
-    while (pos < text.size()) {
-      size_t comma = text.find(',', pos);
-      if (comma == std::string::npos) comma = text.size();
-      sides.push_back(
-          static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
-      pos = comma + 1;
-    }
-  }
+  std::vector<uint32_t> sides = bench::ParseUint32List(flags.GetString("sides"));
 
   bench::PrintHeader(
       "Fig. 11 - communication cost on Grid (wireless, transmissions)",
       "DAG == ST; WILDFIRE-count ~5x ST; WILDFIRE-min cheaper than ST");
 
+  struct Row {
+    uint32_t hosts;
+    uint64_t st, dag, wf_count, wf_max, wf_min;
+  };
+  auto rows = core::ParallelMap<Row>(
+      sides.size(), bench::GetThreads(flags), [&](size_t i) {
+        auto graph = topology::MakeGrid(sides[i]);
+        VALIDITY_CHECK(graph.ok());
+        core::QueryEngine engine(&*graph,
+                                 core::MakeZipfValues(graph->num_hosts(),
+                                                      seed + 1));
+        Row row;
+        row.hosts = graph->num_hosts();
+        row.st = Messages(engine, AggregateKind::kCount,
+                          protocols::ProtocolKind::kSpanningTree, 2, seed);
+        row.dag = Messages(engine, AggregateKind::kCount,
+                           protocols::ProtocolKind::kDag, 3, seed);
+        row.wf_count = Messages(engine, AggregateKind::kCount,
+                                protocols::ProtocolKind::kWildfire, 2, seed);
+        row.wf_max = Messages(engine, AggregateKind::kMax,
+                              protocols::ProtocolKind::kWildfire, 2, seed);
+        row.wf_min = Messages(engine, AggregateKind::kMin,
+                              protocols::ProtocolKind::kWildfire, 2, seed);
+        return row;
+      });
+
   TablePrinter table({"hosts", "st_count", "dag_k3_count", "wf_count",
                       "wf_max", "wf_min", "wf_count/st", "wf_min/st"});
-  for (uint32_t side : sides) {
-    auto graph = topology::MakeGrid(side);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    uint64_t st = Messages(engine, AggregateKind::kCount,
-                           protocols::ProtocolKind::kSpanningTree, 2, seed);
-    uint64_t dag = Messages(engine, AggregateKind::kCount,
-                            protocols::ProtocolKind::kDag, 3, seed);
-    uint64_t wf_count = Messages(engine, AggregateKind::kCount,
-                                 protocols::ProtocolKind::kWildfire, 2, seed);
-    uint64_t wf_max = Messages(engine, AggregateKind::kMax,
-                               protocols::ProtocolKind::kWildfire, 2, seed);
-    uint64_t wf_min = Messages(engine, AggregateKind::kMin,
-                               protocols::ProtocolKind::kWildfire, 2, seed);
+  for (const Row& row : rows) {
     table.NewRow()
-        .Cell(static_cast<int64_t>(graph->num_hosts()))
-        .Cell(static_cast<int64_t>(st))
-        .Cell(static_cast<int64_t>(dag))
-        .Cell(static_cast<int64_t>(wf_count))
-        .Cell(static_cast<int64_t>(wf_max))
-        .Cell(static_cast<int64_t>(wf_min))
-        .Cell(static_cast<double>(wf_count) / static_cast<double>(st), 2)
-        .Cell(static_cast<double>(wf_min) / static_cast<double>(st), 2);
+        .Cell(static_cast<int64_t>(row.hosts))
+        .Cell(static_cast<int64_t>(row.st))
+        .Cell(static_cast<int64_t>(row.dag))
+        .Cell(static_cast<int64_t>(row.wf_count))
+        .Cell(static_cast<int64_t>(row.wf_max))
+        .Cell(static_cast<int64_t>(row.wf_min))
+        .Cell(static_cast<double>(row.wf_count) /
+                  static_cast<double>(row.st), 2)
+        .Cell(static_cast<double>(row.wf_min) /
+                  static_cast<double>(row.st), 2);
   }
   bench::EmitTable(table);
   return 0;

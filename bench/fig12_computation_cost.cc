@@ -59,6 +59,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("powerlaw_hosts", 40000, "power-law network size");
   flags.DefineInt("grid_side", 100, "grid side length");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
@@ -67,33 +68,42 @@ int Main(int argc, char** argv) {
       "hosts (Y) per processed-message count (X); WILDFIRE ~2-4x ST on "
       "power-law, ~40x on wireless Grid");
 
-  {
-    auto graph = bench::MakeTopology(
-        "power-law", static_cast<uint32_t>(flags.GetInt("powerlaw_hosts")),
-        seed);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    auto tree = RunOne(engine, protocols::ProtocolKind::kSpanningTree,
-                       sim::MediumKind::kPointToPoint, seed);
-    auto wf = RunOne(engine, protocols::ProtocolKind::kWildfire,
-                     sim::MediumKind::kPointToPoint, seed);
-    EmitDistribution("Power-Law (point-to-point)", tree, wf);
-  }
-  {
-    auto graph = topology::MakeGrid(
-        static_cast<uint32_t>(flags.GetInt("grid_side")));
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    auto tree = RunOne(engine, protocols::ProtocolKind::kSpanningTree,
-                       sim::MediumKind::kWireless, seed);
-    auto wf = RunOne(engine, protocols::ProtocolKind::kWildfire,
-                     sim::MediumKind::kWireless, seed);
-    EmitDistribution("Grid (wireless)", tree, wf);
-  }
+  auto powerlaw = bench::MakeTopology(
+      "power-law", static_cast<uint32_t>(flags.GetInt("powerlaw_hosts")),
+      seed);
+  VALIDITY_CHECK(powerlaw.ok());
+  core::QueryEngine powerlaw_engine(
+      &*powerlaw, core::MakeZipfValues(powerlaw->num_hosts(), seed + 1));
+  auto grid = topology::MakeGrid(
+      static_cast<uint32_t>(flags.GetInt("grid_side")));
+  VALIDITY_CHECK(grid.ok());
+  core::QueryEngine grid_engine(
+      &*grid, core::MakeZipfValues(grid->num_hosts(), seed + 1));
+
+  // Four independent (engine, protocol, medium) cells; engines are shared
+  // across cells but Run is const and thread-safe.
+  struct Cell {
+    const core::QueryEngine* engine;
+    protocols::ProtocolKind kind;
+    sim::MediumKind medium;
+  };
+  const std::vector<Cell> cells{
+      {&powerlaw_engine, protocols::ProtocolKind::kSpanningTree,
+       sim::MediumKind::kPointToPoint},
+      {&powerlaw_engine, protocols::ProtocolKind::kWildfire,
+       sim::MediumKind::kPointToPoint},
+      {&grid_engine, protocols::ProtocolKind::kSpanningTree,
+       sim::MediumKind::kWireless},
+      {&grid_engine, protocols::ProtocolKind::kWildfire,
+       sim::MediumKind::kWireless},
+  };
+  auto results = core::ParallelMap<core::QueryResult>(
+      cells.size(), bench::GetThreads(flags), [&](size_t i) {
+        return RunOne(*cells[i].engine, cells[i].kind, cells[i].medium, seed);
+      });
+
+  EmitDistribution("Power-Law (point-to-point)", results[0], results[1]);
+  EmitDistribution("Grid (wireless)", results[2], results[3]);
   return 0;
 }
 

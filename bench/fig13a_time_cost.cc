@@ -19,63 +19,65 @@ int Main(int argc, char** argv) {
   flags.DefineString("sizes", "5000,10000,20000,40000",
                      "comma-separated network sizes");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
-  std::vector<uint32_t> sizes;
-  const std::string& text = flags.GetString("sizes");
-  size_t pos = 0;
-  while (pos < text.size()) {
-    size_t comma = text.find(',', pos);
-    if (comma == std::string::npos) comma = text.size();
-    sizes.push_back(
-        static_cast<uint32_t>(std::stoul(text.substr(pos, comma - pos))));
-    pos = comma + 1;
-  }
+  std::vector<uint32_t> sizes = bench::ParseUint32List(flags.GetString("sizes"));
 
   bench::PrintHeader(
       "Fig. 13(a) - time cost on Random topologies",
       "ST last causal chain ~2D*delta (least); WILDFIRE exactly "
       "2*D-hat*delta, growing with the overestimate");
 
+  struct Row {
+    uint32_t hosts;
+    double diameter, st_time, wf1, wf2, wf4;
+  };
+  auto rows = core::ParallelMap<Row>(
+      sizes.size(), bench::GetThreads(flags), [&](size_t i) {
+        const uint32_t n = sizes[i];
+        auto graph = bench::MakeTopology("random", n, seed);
+        VALIDITY_CHECK(graph.ok());
+        core::QueryEngine engine(&*graph,
+                                 core::MakeZipfValues(graph->num_hosts(),
+                                                      seed + 1));
+        double diameter = engine.EstimatedDiameter();
+
+        auto run = [&](protocols::ProtocolKind kind, double d_hat) {
+          core::QuerySpec spec;
+          spec.aggregate = AggregateKind::kCount;
+          spec.fm_vectors = 16;
+          spec.d_hat = d_hat;
+          core::RunConfig config;
+          config.protocol = kind;
+          config.sketch_seed = seed;
+          auto result = engine.Run(spec, config, 0);
+          VALIDITY_CHECK(result.ok());
+          return *std::move(result);
+        };
+
+        // SPANNINGTREE: the §6.3 chain metric — when the root's answer
+        // stopped changing (the declaration timer adds no message chain).
+        auto st = run(protocols::ProtocolKind::kSpanningTree, diameter + 2);
+        auto wf1 = run(protocols::ProtocolKind::kWildfire, diameter + 2);
+        auto wf2 = run(protocols::ProtocolKind::kWildfire, 2 * diameter);
+        auto wf4 = run(protocols::ProtocolKind::kWildfire, 4 * diameter);
+        return Row{n, diameter, st.cost.last_update_at,
+                   wf1.cost.declared_at, wf2.cost.declared_at,
+                   wf4.cost.declared_at};
+      });
+
   TablePrinter table({"hosts", "diam", "st_time", "wf_dhat=D+2", "wf_dhat=2D",
                       "wf_dhat=4D"});
-  for (uint32_t n : sizes) {
-    auto graph = bench::MakeTopology("random", n, seed);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    double diameter = engine.EstimatedDiameter();
-
-    auto run = [&](protocols::ProtocolKind kind, double d_hat) {
-      core::QuerySpec spec;
-      spec.aggregate = AggregateKind::kCount;
-      spec.fm_vectors = 16;
-      spec.d_hat = d_hat;
-      core::RunConfig config;
-      config.protocol = kind;
-      config.sketch_seed = seed;
-      auto result = engine.Run(spec, config, 0);
-      VALIDITY_CHECK(result.ok());
-      return *std::move(result);
-    };
-
-    // SPANNINGTREE: the §6.3 chain metric — when the root's answer stopped
-    // changing (the declaration timer itself adds no message chain).
-    auto st = run(protocols::ProtocolKind::kSpanningTree, diameter + 2);
-    double st_time = st.cost.last_update_at;
-
-    auto wf1 = run(protocols::ProtocolKind::kWildfire, diameter + 2);
-    auto wf2 = run(protocols::ProtocolKind::kWildfire, 2 * diameter);
-    auto wf4 = run(protocols::ProtocolKind::kWildfire, 4 * diameter);
+  for (const Row& row : rows) {
     table.NewRow()
-        .Cell(static_cast<int64_t>(n))
-        .Cell(diameter, 0)
-        .Cell(st_time, 1)
-        .Cell(wf1.cost.declared_at, 1)
-        .Cell(wf2.cost.declared_at, 1)
-        .Cell(wf4.cost.declared_at, 1);
+        .Cell(static_cast<int64_t>(row.hosts))
+        .Cell(row.diameter, 0)
+        .Cell(row.st_time, 1)
+        .Cell(row.wf1, 1)
+        .Cell(row.wf2, 1)
+        .Cell(row.wf4, 1);
   }
   bench::EmitTable(table);
   return 0;

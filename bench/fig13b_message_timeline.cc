@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   flags.DefineInt("hosts", 40000, "network size for synthetic topologies");
   flags.DefineInt("grid_side", 100, "grid side");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const uint32_t hosts = static_cast<uint32_t>(flags.GetInt("hosts"));
@@ -27,40 +28,53 @@ int Main(int argc, char** argv) {
       "Fig. 13(b) - WILDFIRE messages per time instant (count)",
       "traffic peaks near D*delta (arrow) and dies by 2*D*delta");
 
-  for (const std::string& topo : {std::string("random"),
-                                  std::string("power-law"),
-                                  std::string("grid"),
-                                  std::string("gnutella")}) {
-    uint32_t n = topo == "grid"
-                     ? static_cast<uint32_t>(flags.GetInt("grid_side")) *
-                           static_cast<uint32_t>(flags.GetInt("grid_side"))
-                     : hosts;
-    auto graph = bench::MakeTopology(topo, n, seed);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    uint32_t diameter = engine.EstimatedDiameter();
+  const std::vector<std::string> topologies{"random", "power-law", "grid",
+                                            "gnutella"};
+  struct Point {
+    uint32_t hosts;
+    uint32_t diameter;
+    core::QueryResult result;
+  };
+  auto points = core::ParallelMap<Point>(
+      topologies.size(), bench::GetThreads(flags), [&](size_t i) {
+        const std::string& topo = topologies[i];
+        uint32_t n = topo == "grid"
+                         ? static_cast<uint32_t>(flags.GetInt("grid_side")) *
+                               static_cast<uint32_t>(flags.GetInt("grid_side"))
+                         : hosts;
+        auto graph = bench::MakeTopology(topo, n, seed);
+        VALIDITY_CHECK(graph.ok());
+        core::QueryEngine engine(&*graph,
+                                 core::MakeZipfValues(graph->num_hosts(),
+                                                      seed + 1));
+        uint32_t diameter = engine.EstimatedDiameter();
 
-    core::QuerySpec spec;
-    spec.aggregate = AggregateKind::kCount;
-    spec.fm_vectors = 16;
-    spec.d_hat = 2.0 * diameter;  // deliberate overestimate
-    core::RunConfig config;
-    config.sketch_seed = seed;
-    if (topo == "grid") config.sim_options.medium = sim::MediumKind::kWireless;
-    auto result = engine.Run(spec, config, 0);
-    VALIDITY_CHECK(result.ok());
+        core::QuerySpec spec;
+        spec.aggregate = AggregateKind::kCount;
+        spec.fm_vectors = 16;
+        spec.d_hat = 2.0 * diameter;  // deliberate overestimate
+        core::RunConfig config;
+        config.sketch_seed = seed;
+        if (topo == "grid") {
+          config.sim_options.medium = sim::MediumKind::kWireless;
+        }
+        auto result = engine.Run(spec, config, 0);
+        VALIDITY_CHECK(result.ok());
+        return Point{graph->num_hosts(), diameter, *std::move(result)};
+      });
 
-    const auto& ticks = result->cost.sends_per_tick;
+  for (size_t i = 0; i < topologies.size(); ++i) {
+    const Point& point = points[i];
+    const auto& ticks = point.result.cost.sends_per_tick;
     size_t peak = 0;
     for (size_t t = 0; t < ticks.size(); ++t) {
       if (ticks[t] > ticks[peak]) peak = t;
     }
     std::printf("--- %s: |H|=%u, D~%u, peak at t=%zu (D*delta marker: %u), "
                 "silent from t=%.0f (2*D marker: %u) ---\n",
-                topo.c_str(), graph->num_hosts(), diameter, peak, diameter,
-                result->cost.last_update_at, 2 * diameter);
+                topologies[i].c_str(), point.hosts, point.diameter, peak,
+                point.diameter, point.result.cost.last_update_at,
+                2 * point.diameter);
 
     TablePrinter table({"tick", "messages"});
     for (size_t t = 0; t < ticks.size(); ++t) {

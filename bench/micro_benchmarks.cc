@@ -7,7 +7,10 @@
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "core/engine.h"
+#include "core/experiment.h"
+#include "core/sweep.h"
 #include "protocols/combiner.h"
+#include "sim/churn.h"
 #include "sim/event_queue.h"
 #include "sketch/fm_sketch.h"
 #include "topology/generators.h"
@@ -163,6 +166,72 @@ void BM_SpanningTreeCountQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SpanningTreeCountQuery)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_ChurnSweep(benchmark::State& state) {
+  // The figure workload in miniature: a (churn level, trial, protocol) grid
+  // through the parallel sweep driver. Arg = worker threads; output is
+  // bit-identical across thread counts, wall clock scales with the
+  // hardware's real parallelism (on a single-core host all thread counts
+  // cost the same).
+  auto graph = topology::MakeRandom(1500, 5.0, 42);
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(graph->num_hosts(),
+                                                         43));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  std::vector<core::ProtocolSpec> lineup;
+  lineup.push_back({"wildfire", protocols::ProtocolKind::kWildfire,
+                    protocols::ProtocolOptions{}});
+  lineup.push_back({"spanning-tree", protocols::ProtocolKind::kSpanningTree,
+                    protocols::ProtocolOptions{}});
+  core::ChurnSweepOptions options;
+  options.trials = 4;
+  options.threads = static_cast<uint32_t>(state.range(0));
+  const std::vector<uint32_t> removals{32, 96};
+  for (auto _ : state) {
+    auto cells = core::RunChurnSweep(engine, spec, 0, lineup, removals,
+                                     options);
+    benchmark::DoNotOptimize(cells.front().value.mean);
+  }
+  // cells = levels * trials * protocols engine runs per iteration.
+  state.SetItemsProcessed(state.iterations() * removals.size() *
+                          options.trials * lineup.size());
+}
+BENCHMARK(BM_ChurnSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ExponentialChurnMaterialized(benchmark::State& state) {
+  // Baseline: build + sort the event vector, then schedule (the pre-PR-2
+  // MakeExponentialLifetimeChurn + ScheduleChurn path).
+  auto graph = topology::MakeRandom(static_cast<uint32_t>(state.range(0)),
+                                    5.0, 42);
+  for (auto _ : state) {
+    sim::Simulator simulator(*graph, sim::SimOptions{});
+    Rng rng(7);
+    auto events = sim::MakeExponentialLifetimeChurn(
+        graph->num_hosts(), 0, /*mean_lifetime=*/10.0, /*horizon=*/30.0,
+        &rng);
+    sim::ScheduleChurn(&simulator, events);
+    benchmark::DoNotOptimize(events.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExponentialChurnMaterialized)->Arg(100000);
+
+void BM_ExponentialChurnDirect(benchmark::State& state) {
+  // Same lifetimes fed straight to the calendar heap: no vector, no sort.
+  auto graph = topology::MakeRandom(static_cast<uint32_t>(state.range(0)),
+                                    5.0, 42);
+  for (auto _ : state) {
+    sim::Simulator simulator(*graph, sim::SimOptions{});
+    Rng rng(7);
+    uint32_t scheduled = sim::ScheduleExponentialLifetimeChurn(
+        &simulator, 0, /*mean_lifetime=*/10.0, /*horizon=*/30.0, &rng);
+    benchmark::DoNotOptimize(scheduled);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExponentialChurnDirect)->Arg(100000);
 
 }  // namespace
 }  // namespace validity

@@ -6,6 +6,7 @@
 // aggregate).
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "core/engine.h"
@@ -17,6 +18,7 @@ int Main(int argc, char** argv) {
   FlagSet flags;
   flags.DefineInt("hosts", 20000, "synthetic topology size");
   flags.DefineInt("seed", 42, "base seed");
+  bench::DefineThreadsFlag(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const uint32_t hosts = static_cast<uint32_t>(flags.GetInt("hosts"));
@@ -25,44 +27,62 @@ int Main(int argc, char** argv) {
       "Price of validity - WILDFIRE vs SPANNINGTREE message cost",
       "count/sum ~4-5x, min/max ~1x (below 1 on Grid: early aggregation)");
 
-  TablePrinter table({"topology", "aggregate", "st_msgs", "wf_msgs",
-                      "price(wf/st)"});
-  for (const std::string& topo : {std::string("gnutella"),
-                                  std::string("random"),
-                                  std::string("power-law"),
-                                  std::string("grid")}) {
+  const std::vector<std::string> topologies{"gnutella", "random", "power-law",
+                                            "grid"};
+  const std::vector<AggregateKind> aggregates{
+      AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+      AggregateKind::kMax};
+  struct Cell {
+    uint64_t st = 0;
+    uint64_t wf = 0;
+  };
+  // One task per (topology, aggregate) cell on shared per-topology engines;
+  // graphs build up front so tasks only run queries.
+  std::vector<StatusOr<topology::Graph>> graphs;
+  graphs.reserve(topologies.size());  // engines keep pointers into graphs
+  std::vector<std::unique_ptr<core::QueryEngine>> engines;
+  for (const std::string& topo : topologies) {
     uint32_t n = topo == "grid" ? 10000 : hosts;
     if (topo == "gnutella") n = topology::kGnutellaCrawlSize;
-    auto graph = bench::MakeTopology(topo, n, seed);
-    VALIDITY_CHECK(graph.ok());
-    core::QueryEngine engine(&*graph,
-                             core::MakeZipfValues(graph->num_hosts(),
-                                                  seed + 1));
-    for (AggregateKind agg : {AggregateKind::kCount, AggregateKind::kSum,
-                              AggregateKind::kMin, AggregateKind::kMax}) {
-      auto run = [&](protocols::ProtocolKind kind) {
-        core::QuerySpec spec;
-        spec.aggregate = agg;
-        spec.fm_vectors = 16;
-        core::RunConfig config;
-        config.protocol = kind;
-        config.sketch_seed = seed;
-        if (topo == "grid") {
-          config.sim_options.medium = sim::MediumKind::kWireless;
-        }
-        auto result = engine.Run(spec, config, 0);
-        VALIDITY_CHECK(result.ok());
-        return result->cost.messages;
-      };
-      uint64_t st = run(protocols::ProtocolKind::kSpanningTree);
-      uint64_t wf = run(protocols::ProtocolKind::kWildfire);
-      table.NewRow()
-          .Cell(topo)
-          .Cell(AggregateKindName(agg))
-          .Cell(static_cast<int64_t>(st))
-          .Cell(static_cast<int64_t>(wf))
-          .Cell(static_cast<double>(wf) / static_cast<double>(st), 2);
-    }
+    graphs.push_back(bench::MakeTopology(topo, n, seed));
+    VALIDITY_CHECK(graphs.back().ok());
+    engines.push_back(std::make_unique<core::QueryEngine>(
+        &*graphs.back(),
+        core::MakeZipfValues(graphs.back()->num_hosts(), seed + 1)));
+  }
+  auto cells = core::ParallelMap<Cell>(
+      topologies.size() * aggregates.size(), bench::GetThreads(flags),
+      [&](size_t i) {
+        const size_t ti = i / aggregates.size();
+        const AggregateKind agg = aggregates[i % aggregates.size()];
+        auto run = [&](protocols::ProtocolKind kind) {
+          core::QuerySpec spec;
+          spec.aggregate = agg;
+          spec.fm_vectors = 16;
+          core::RunConfig config;
+          config.protocol = kind;
+          config.sketch_seed = seed;
+          if (topologies[ti] == "grid") {
+            config.sim_options.medium = sim::MediumKind::kWireless;
+          }
+          auto result = engines[ti]->Run(spec, config, 0);
+          VALIDITY_CHECK(result.ok());
+          return result->cost.messages;
+        };
+        return Cell{run(protocols::ProtocolKind::kSpanningTree),
+                    run(protocols::ProtocolKind::kWildfire)};
+      });
+
+  TablePrinter table({"topology", "aggregate", "st_msgs", "wf_msgs",
+                      "price(wf/st)"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    table.NewRow()
+        .Cell(topologies[i / aggregates.size()])
+        .Cell(AggregateKindName(aggregates[i % aggregates.size()]))
+        .Cell(static_cast<int64_t>(cells[i].st))
+        .Cell(static_cast<int64_t>(cells[i].wf))
+        .Cell(static_cast<double>(cells[i].wf) /
+                  static_cast<double>(cells[i].st), 2);
   }
   bench::EmitTable(table);
   return 0;

@@ -37,13 +37,13 @@ int main() {
   }
 
   sim::Simulator simulator(*overlay, sim::SimOptions{});
-  // Session churn: exponential lifetimes, mean 2 windows.
+  // Session churn: exponential lifetimes, mean 2 windows, fed straight to
+  // the calendar heap (no materialized, sorted event list).
   Rng churn_rng(33);
-  sim::ScheduleChurn(&simulator, sim::MakeExponentialLifetimeChurn(
-                                     kHosts, /*protect=*/0,
-                                     /*mean_lifetime=*/2 * kWindow,
-                                     /*horizon=*/kWindows * kWindow,
-                                     &churn_rng));
+  sim::ScheduleExponentialLifetimeChurn(&simulator, /*protect=*/0,
+                                        /*mean_lifetime=*/2 * kWindow,
+                                        /*horizon=*/kWindows * kWindow,
+                                        &churn_rng);
 
   QueryContext ctx;
   ctx.aggregate = AggregateKind::kAverage;

@@ -19,11 +19,10 @@ QueryEngine::QueryEngine(const topology::Graph* graph,
 }
 
 uint32_t QueryEngine::EstimatedDiameter() const {
-  if (!diameter_known_) {
+  std::call_once(diameter_once_, [this] {
     Rng rng(0xd1a4e7e5u);
     cached_diameter_ = topology::EstimateDiameter(*graph_, /*sweeps=*/4, &rng);
-    diameter_known_ = true;
-  }
+  });
   return cached_diameter_;
 }
 

@@ -14,6 +14,7 @@
 #define VALIDITY_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/histogram.h"
@@ -80,11 +81,16 @@ class QueryEngine {
   /// value (see MakeZipfValues for the paper's workload).
   QueryEngine(const topology::Graph* graph, std::vector<double> values);
 
-  /// Executes one query. Deterministic in (spec, config, hq).
+  /// Executes one query. Deterministic in (spec, config, hq), and safe to
+  /// call concurrently from multiple threads: each run builds its own
+  /// simulator/protocol state, and the engine's only shared mutable state
+  /// (the diameter cache) is synchronized. The parallel sweep driver
+  /// (core/sweep.h) relies on this.
   StatusOr<QueryResult> Run(const QuerySpec& spec, const RunConfig& config,
                             HostId hq) const;
 
   /// Estimated diameter of the topology (cached; double-sweep heuristic).
+  /// Thread-safe: computed at most once under a std::once_flag.
   uint32_t EstimatedDiameter() const;
 
   const std::vector<double>& values() const { return values_; }
@@ -93,8 +99,8 @@ class QueryEngine {
  private:
   const topology::Graph* graph_;
   std::vector<double> values_;
+  mutable std::once_flag diameter_once_;
   mutable uint32_t cached_diameter_ = 0;
-  mutable bool diameter_known_ = false;
 };
 
 /// The paper's workload (§6.1): Zipfian attribute values in [10, 500].

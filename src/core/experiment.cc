@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include "common/rng.h"
+#include "core/sweep.h"
 
 namespace validity::core {
 
@@ -19,75 +20,117 @@ std::vector<ProtocolSpec> StandardLineup() {
   return lineup;
 }
 
+namespace {
+
+/// The per-run measurements a sweep cell aggregates over trials. One slot
+/// per (level, trial, protocol) grid point, filled by value-returning tasks
+/// and merged serially afterwards.
+struct CellRun {
+  double value = 0.0;
+  double messages = 0.0;
+  double time_cost = 0.0;
+  double max_processed = 0.0;
+  double q_low = 0.0;
+  double q_high = 0.0;
+  bool within = false;
+  bool within_slack = false;
+};
+
+MeanCi ToMeanCi(const RunningStat& s) {
+  return MeanCi{s.mean(), s.ci95_half_width(), s.count()};
+}
+
+}  // namespace
+
 std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
                                      const QuerySpec& spec, HostId hq,
                                      const std::vector<ProtocolSpec>& lineup,
                                      const std::vector<uint32_t>& removals,
                                      const ChurnSweepOptions& options) {
+  const size_t num_protocols = lineup.size();
+  const size_t runs_per_level = options.trials * num_protocols;
+  const size_t total_runs = removals.size() * runs_per_level;
+
+  // Stage 1 (parallel): every (level, trial, protocol) grid point is an
+  // independent const run whose seeds derive from its coordinates alone.
+  // Flat index = (level_index * trials + trial) * num_protocols + protocol,
+  // matching the serial loop nesting below.
+  std::vector<CellRun> runs(total_runs);
+  ParallelFor(total_runs, options.threads, [&](size_t i) {
+    const size_t ri = i / runs_per_level;
+    const uint32_t t = static_cast<uint32_t>((i / num_protocols) %
+                                             options.trials);
+    const size_t p = i % num_protocols;
+    const uint32_t r = removals[ri];
+    // One churn schedule per (level, trial), shared by every protocol.
+    uint64_t churn_seed =
+        Mix64(options.base_seed ^ (uint64_t{r} << 32) ^ (t + 1));
+    uint64_t sketch_seed = Mix64(churn_seed + 0x5851f42d4c957f2dULL);
+
+    RunConfig config;
+    config.protocol = lineup[p].kind;
+    config.protocol_options = lineup[p].options;
+    config.sim_options = options.sim_options;
+    config.churn_removals = r;
+    config.churn_seed = churn_seed;
+    config.sketch_seed = sketch_seed;
+    StatusOr<QueryResult> run = engine.Run(spec, config, hq);
+    VALIDITY_CHECK(run.ok(), "sweep run failed: %s",
+                   run.status().ToString().c_str());
+    runs[i] = CellRun{run->value,
+                      static_cast<double>(run->cost.messages),
+                      run->cost.declared_at,
+                      static_cast<double>(run->cost.max_processed),
+                      run->validity.q_low,
+                      run->validity.q_high,
+                      run->validity.within,
+                      run->validity.within_slack};
+  });
+
+  // Stage 2 (serial): merge in the exact serial iteration order —
+  // removals-major, then trial, then protocol — so every RunningStat sees
+  // its samples in the same sequence a single-threaded sweep would produce
+  // and the means/CIs are bit-identical regardless of thread count.
   std::vector<SweepCell> cells;
-  cells.reserve(removals.size() * lineup.size());
-  for (uint32_t r : removals) {
-    std::vector<RunningStat> value(lineup.size());
-    std::vector<RunningStat> messages(lineup.size());
-    std::vector<RunningStat> time_cost(lineup.size());
-    std::vector<RunningStat> max_processed(lineup.size());
-    std::vector<uint64_t> within(lineup.size(), 0);
-    std::vector<uint64_t> within_slack(lineup.size(), 0);
+  cells.reserve(removals.size() * num_protocols);
+  size_t i = 0;
+  for (size_t ri = 0; ri < removals.size(); ++ri) {
+    std::vector<RunningStat> value(num_protocols);
+    std::vector<RunningStat> messages(num_protocols);
+    std::vector<RunningStat> time_cost(num_protocols);
+    std::vector<RunningStat> max_processed(num_protocols);
+    std::vector<uint64_t> within(num_protocols, 0);
+    std::vector<uint64_t> within_slack(num_protocols, 0);
     RunningStat oracle_low;
     RunningStat oracle_high;
 
     for (uint32_t t = 0; t < options.trials; ++t) {
-      // One churn schedule per (level, trial), shared by every protocol.
-      uint64_t churn_seed =
-          Mix64(options.base_seed ^ (uint64_t{r} << 32) ^ (t + 1));
-      uint64_t sketch_seed = Mix64(churn_seed + 0x5851f42d4c957f2dULL);
-      bool oracle_recorded = false;
-      for (size_t p = 0; p < lineup.size(); ++p) {
-        RunConfig config;
-        config.protocol = lineup[p].kind;
-        config.protocol_options = lineup[p].options;
-        config.sim_options = options.sim_options;
-        config.churn_removals = r;
-        config.churn_seed = churn_seed;
-        config.sketch_seed = sketch_seed;
-        StatusOr<QueryResult> run = engine.Run(spec, config, hq);
-        VALIDITY_CHECK(run.ok(), "sweep run failed: %s",
-                       run.status().ToString().c_str());
-        value[p].Add(run->value);
-        messages[p].Add(static_cast<double>(run->cost.messages));
-        time_cost[p].Add(run->cost.declared_at);
-        max_processed[p].Add(static_cast<double>(run->cost.max_processed));
-        if (run->validity.within) ++within[p];
-        if (run->validity.within_slack) ++within_slack[p];
-        if (!oracle_recorded) {
+      for (size_t p = 0; p < num_protocols; ++p, ++i) {
+        const CellRun& run = runs[i];
+        value[p].Add(run.value);
+        messages[p].Add(run.messages);
+        time_cost[p].Add(run.time_cost);
+        max_processed[p].Add(run.max_processed);
+        if (run.within) ++within[p];
+        if (run.within_slack) ++within_slack[p];
+        if (p == 0) {
           // Identical churn => identical oracle interval across protocols.
-          oracle_low.Add(run->validity.q_low);
-          oracle_high.Add(run->validity.q_high);
-          oracle_recorded = true;
+          oracle_low.Add(run.q_low);
+          oracle_high.Add(run.q_high);
         }
       }
     }
 
-    for (size_t p = 0; p < lineup.size(); ++p) {
+    for (size_t p = 0; p < num_protocols; ++p) {
       SweepCell cell;
       cell.protocol = lineup[p].label;
-      cell.removals = r;
-      cell.value = MeanCi{value[p].mean(), value[p].ci95_half_width(),
-                          value[p].count()};
-      cell.messages = MeanCi{messages[p].mean(),
-                             messages[p].ci95_half_width(),
-                             messages[p].count()};
-      cell.time_cost = MeanCi{time_cost[p].mean(),
-                              time_cost[p].ci95_half_width(),
-                              time_cost[p].count()};
-      cell.max_processed = MeanCi{max_processed[p].mean(),
-                                  max_processed[p].ci95_half_width(),
-                                  max_processed[p].count()};
-      cell.oracle_low = MeanCi{oracle_low.mean(), oracle_low.ci95_half_width(),
-                               oracle_low.count()};
-      cell.oracle_high = MeanCi{oracle_high.mean(),
-                                oracle_high.ci95_half_width(),
-                                oracle_high.count()};
+      cell.removals = removals[ri];
+      cell.value = ToMeanCi(value[p]);
+      cell.messages = ToMeanCi(messages[p]);
+      cell.time_cost = ToMeanCi(time_cost[p]);
+      cell.max_processed = ToMeanCi(max_processed[p]);
+      cell.oracle_low = ToMeanCi(oracle_low);
+      cell.oracle_high = ToMeanCi(oracle_high);
       cell.within_fraction = static_cast<double>(within[p]) /
                              static_cast<double>(options.trials);
       cell.within_slack_fraction = static_cast<double>(within_slack[p]) /

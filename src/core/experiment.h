@@ -42,12 +42,20 @@ struct SweepCell {
 struct ChurnSweepOptions {
   uint32_t trials = 10;       // paper: averages of 10 trials with 95% CI
   uint64_t base_seed = 42;    // trial t uses churn seed f(base_seed, t)
+  /// Worker threads for the (level, trial, protocol) grid; 0 = all hardware
+  /// threads, 1 = serial. Every cell's RNG seeds derive statelessly from
+  /// its grid coordinates and cells merge in serial iteration order, so the
+  /// returned vector is bit-identical at any thread count.
+  uint32_t threads = 0;
   sim::SimOptions sim_options;
 };
 
 /// Runs every protocol at every churn level. Within one (level, trial) pair
 /// all protocols face the *same* departure schedule, as a fair comparison
 /// requires. Returns cells in (removals-major, protocol-minor) order.
+/// Independent (level, trial, protocol) runs execute concurrently on
+/// options.threads workers (see core/sweep.h); output does not depend on
+/// the thread count.
 std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
                                      const QuerySpec& spec, HostId hq,
                                      const std::vector<ProtocolSpec>& lineup,

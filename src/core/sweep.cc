@@ -1,0 +1,70 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace validity::core {
+
+uint32_t HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested == 0) return std::min(HardwareThreads(), kMaxSweepThreads);
+  return std::min(requested, kMaxSweepThreads);
+}
+
+void ParallelFor(size_t n, uint32_t threads,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  uint32_t workers = static_cast<uint32_t>(
+      std::min<size_t>(ResolveThreads(threads), n));
+
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Fail fast: cancel indices nobody has claimed yet. In-flight
+        // bodies on other workers still finish (join below), so the caller
+        // never unwinds under a running body.
+        next.store(n, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(work);
+    work();  // The calling thread is worker 0.
+  } catch (...) {
+    // Thread spawn failed (e.g. process/thread limit): cancel unclaimed
+    // indices, join whatever did start, and report the failure instead of
+    // letting joinable-thread destructors call std::terminate.
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+    next.store(n, std::memory_order_relaxed);
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace validity::core

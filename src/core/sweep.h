@@ -1,0 +1,73 @@
+// Parallel sweep driver for embarrassingly-parallel experiment grids.
+//
+// The paper's figures are averages over (protocol, churn level, trial)
+// grids, and QueryEngine::Run is const and self-contained per run — every
+// cell of such a grid is an independent task. ParallelFor/ParallelMap run
+// those tasks on a small pool of worker threads while keeping results in
+// index order, so a driver that (a) derives every cell's RNG seeds
+// statelessly from the cell's grid coordinates and (b) merges the
+// value-returning cells in the serial iteration order produces output that
+// is bit-identical to a serial sweep at any thread count. RunChurnSweep
+// (core/experiment.h) and the bench/fig*.cc binaries are built this way.
+//
+// This is a fork-join helper, not a persistent pool: threads are spawned
+// per call and joined before it returns. Sweep cells are milliseconds to
+// seconds of simulation each, so the ~10 us per-thread spawn cost is noise.
+
+#ifndef VALIDITY_CORE_SWEEP_H_
+#define VALIDITY_CORE_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace validity::core {
+
+/// std::thread::hardware_concurrency() clamped to >= 1 (the standard allows
+/// it to return 0 when undeterminable).
+uint32_t HardwareThreads();
+
+/// Hard ceiling on sweep workers. Oversubscription past this point only
+/// costs scheduling; it also bounds thread spawns when a caller passes a
+/// huge or wrapped-negative --threads value.
+inline constexpr uint32_t kMaxSweepThreads = 256;
+
+/// Resolves a user-facing thread-count knob: 0 (the "auto" default of every
+/// --threads flag) becomes HardwareThreads(); anything else is clamped to
+/// [1, kMaxSweepThreads].
+uint32_t ResolveThreads(uint32_t requested);
+
+/// Runs body(i) for every i in [0, n) on ResolveThreads(threads) workers.
+/// Indices are claimed dynamically (atomic counter), so uneven cell costs
+/// balance across workers. Blocks until every worker joined. The body must
+/// not touch shared mutable state except through its own index's slot. A
+/// body exception is rethrown here (first one wins) after cancelling
+/// unclaimed indices — in-flight bodies on other workers finish before the
+/// rethrow, so the caller never unwinds under a running body, but indices
+/// nobody started are skipped (fail fast).
+///
+/// threads == 1 runs inline on the calling thread with no spawns at all —
+/// --threads=1 is the exact serial program, not a one-worker pool — and,
+/// like any serial loop, propagates a body exception immediately without
+/// visiting the remaining indices.
+void ParallelFor(size_t n, uint32_t threads,
+                 const std::function<void(size_t)>& body);
+
+/// Value-returning form: results[i] = fn(i), computed in parallel, returned
+/// in index order. T must be default-constructible and must not be bool:
+/// std::vector<bool> packs 8 elements per byte, so concurrent writes to
+/// adjacent slots would race (use char or a wrapper struct instead).
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, uint32_t threads, Fn&& fn) {
+  static_assert(!std::is_same_v<T, bool>,
+                "vector<bool> bit-packing races under parallel writes");
+  std::vector<T> results(n);
+  ParallelFor(n, threads, [&](size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace validity::core
+
+#endif  // VALIDITY_CORE_SWEEP_H_

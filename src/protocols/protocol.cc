@@ -1,15 +1,23 @@
 #include "protocols/protocol.h"
 
+#include <atomic>
+
 namespace validity::protocols {
 
 namespace {
 // Instance ids are process-global so that two simulators in one test cannot
-// alias. Single-threaded by design (the simulator is not thread-safe).
-uint32_t g_next_instance_id = 1;
+// alias. Atomic because the parallel sweep driver constructs protocols from
+// concurrent QueryEngine::Run calls; the id's value never influences
+// results (it only tags timers/messages within the protocol's own
+// simulator), so relaxed ordering suffices.
+std::atomic<uint32_t> g_next_instance_id{1};
 }  // namespace
 
 ProtocolBase::ProtocolBase(sim::Simulator* sim, QueryContext ctx)
-    : sim_(sim), ctx_(std::move(ctx)), instance_id_(g_next_instance_id++) {
+    : sim_(sim),
+      ctx_(std::move(ctx)),
+      instance_id_(g_next_instance_id.fetch_add(1,
+                                                std::memory_order_relaxed)) {
   VALIDITY_CHECK(sim_ != nullptr);
   VALIDITY_CHECK(ctx_.values != nullptr, "QueryContext.values is required");
   VALIDITY_CHECK(ctx_.values->size() >= sim_->num_hosts(),

@@ -35,24 +35,56 @@ std::vector<ChurnEvent> MakeUniformChurn(uint32_t num_hosts, HostId protect,
   return events;
 }
 
+namespace {
+
+// The single place that draws session lifetimes: both exponential-churn
+// entry points promise identical RNG consumption (churn.h), so they must
+// share this loop rather than each copying it.
+template <typename Fn>
+uint32_t ForEachExponentialFailure(uint32_t num_hosts, HostId protect,
+                                   double mean_lifetime, SimTime horizon,
+                                   Rng* rng, Fn&& fn) {
+  VALIDITY_CHECK(mean_lifetime > 0);
+  uint32_t count = 0;
+  for (HostId h = 0; h < num_hosts; ++h) {
+    if (h == protect) continue;
+    double u = rng->NextDouble();
+    SimTime lifetime = -mean_lifetime * std::log1p(-u);
+    if (lifetime <= horizon) {
+      fn(lifetime, h);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
 std::vector<ChurnEvent> MakeExponentialLifetimeChurn(uint32_t num_hosts,
                                                      HostId protect,
                                                      double mean_lifetime,
                                                      SimTime horizon,
                                                      Rng* rng) {
-  VALIDITY_CHECK(mean_lifetime > 0);
   std::vector<ChurnEvent> events;
-  for (HostId h = 0; h < num_hosts; ++h) {
-    if (h == protect) continue;
-    double u = rng->NextDouble();
-    SimTime lifetime = -mean_lifetime * std::log1p(-u);
-    if (lifetime <= horizon) events.push_back(ChurnEvent{lifetime, h});
-  }
+  ForEachExponentialFailure(num_hosts, protect, mean_lifetime, horizon, rng,
+                            [&](SimTime time, HostId host) {
+                              events.push_back(ChurnEvent{time, host});
+                            });
   std::sort(events.begin(), events.end(),
             [](const ChurnEvent& a, const ChurnEvent& b) {
               return a.time < b.time;
             });
   return events;
+}
+
+uint32_t ScheduleExponentialLifetimeChurn(Simulator* sim, HostId protect,
+                                          double mean_lifetime,
+                                          SimTime horizon, Rng* rng) {
+  return ForEachExponentialFailure(sim->num_hosts(), protect, mean_lifetime,
+                                   horizon, rng,
+                                   [&](SimTime time, HostId host) {
+                                     sim->ScheduleFailure(time, host);
+                                   });
 }
 
 void ScheduleChurn(Simulator* sim, const std::vector<ChurnEvent>& events) {

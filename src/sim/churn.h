@@ -32,11 +32,22 @@ std::vector<ChurnEvent> MakeUniformChurn(uint32_t num_hosts, HostId protect,
 
 /// Session-length model: every host except `protect` draws an exponential
 /// lifetime with the given mean; failures beyond `horizon` are dropped.
-/// Used by the continuous-query extension experiments.
+/// Returns the events sorted by time. Prefer
+/// ScheduleExponentialLifetimeChurn when the events go straight onto a
+/// simulator — it skips this function's O(n log n) sort and O(n) vector.
 std::vector<ChurnEvent> MakeExponentialLifetimeChurn(uint32_t num_hosts,
                                                      HostId protect,
                                                      double mean_lifetime,
                                                      SimTime horizon, Rng* rng);
+
+/// Draws the same lifetimes as MakeExponentialLifetimeChurn (identical RNG
+/// consumption, so the two are interchangeable under one seed) but feeds
+/// each failure directly to the simulator's calendar heap, which orders
+/// events itself — no intermediate vector, no up-front sort. Returns the
+/// number of failures scheduled.
+uint32_t ScheduleExponentialLifetimeChurn(Simulator* sim, HostId protect,
+                                          double mean_lifetime,
+                                          SimTime horizon, Rng* rng);
 
 /// Installs every event onto the simulator's queue.
 void ScheduleChurn(Simulator* sim, const std::vector<ChurnEvent>& events);

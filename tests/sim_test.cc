@@ -294,6 +294,28 @@ TEST(ChurnTest, ExponentialLifetimesRespectHorizonAndProtect) {
   }
 }
 
+TEST(ChurnTest, DirectScheduleMatchesMaterializedExponentialChurn) {
+  // ScheduleExponentialLifetimeChurn consumes the RNG exactly like
+  // MakeExponentialLifetimeChurn, so under one seed both paths fail the
+  // same hosts at the same instants.
+  topology::Graph g = *topology::MakeRandom(300, 4.0, 11);
+  Simulator via_vector(g, SimOptions{});
+  Simulator direct(g, SimOptions{});
+  Rng rng_a(17);
+  Rng rng_b(17);
+  auto events = MakeExponentialLifetimeChurn(300, 5, 8.0, 25.0, &rng_a);
+  ScheduleChurn(&via_vector, events);
+  uint32_t scheduled =
+      ScheduleExponentialLifetimeChurn(&direct, 5, 8.0, 25.0, &rng_b);
+  EXPECT_EQ(scheduled, events.size());
+  via_vector.Run();
+  direct.Run();
+  EXPECT_EQ(via_vector.alive_count(), direct.alive_count());
+  for (HostId h = 0; h < 300; ++h) {
+    EXPECT_EQ(via_vector.FailureTime(h), direct.FailureTime(h)) << h;
+  }
+}
+
 // --------------------------------------------------------------- Metrics
 
 TEST(MetricsTest, SendsPerTickBucketsByFloor) {
