@@ -4,7 +4,9 @@
 // analytically); this bench quantifies both schemes on a churning overlay:
 //   (a) capture-recapture (Jolly-Seber) with uniform and random-walk
 //       sampling black boxes;
-//   (b) the DHT-ring segment-length estimator s/X_s.
+//   (b) the DHT-ring segment-length estimator: s lookups routed to uniform
+//       ring positions return length-biased segments x_i; the unbiased
+//       size estimate is the mean reciprocal (1/s) * sum 1/x_i.
 // Series: estimate vs ground-truth alive count per sampling interval.
 
 #include <cmath>
@@ -43,7 +45,7 @@ int Main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt("intervals"));
 
   TablePrinter table({"time", "true_alive", "cr_uniform", "cr_walk",
-                      "ring_sXs", "cr_uniform_err", "ring_err"});
+                      "ring_seg", "cr_uniform_err", "ring_err"});
 
   // Run the two capture-recapture samplers on identically churned networks.
   auto make_sim = [&] {

@@ -200,6 +200,69 @@ void BM_ChurnSweep(benchmark::State& state) {
 BENCHMARK(BM_ChurnSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_CombinerCombineCompareFm(benchmark::State& state) {
+  // The fused WILDFIRE receive path: combine + same-as-sender in one pass
+  // (BM_CombinerCombineFm is the copy + two-pass baseline).
+  Rng rng(1);
+  protocols::PartialAggregate a = protocols::PartialAggregate::Initial(
+      protocols::CombinerKind::kFmSum, 0, 250, sketch::FmParams{16}, &rng);
+  protocols::PartialAggregate b = protocols::PartialAggregate::Initial(
+      protocols::CombinerKind::kFmSum, 1, 400, sketch::FmParams{16}, &rng);
+  for (auto _ : state) {
+    auto outcome = a.CombineCompare(b);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_CombinerCombineCompareFm);
+
+void BM_WildfireDenseCountQuery(benchmark::State& state) {
+  // Dense-graph regression guard for the O(1) reverse neighbor-slot lookup:
+  // every convergecast receive used to pay an O(degree) scan, quadratic per
+  // tick at average degree 60.
+  auto graph =
+      topology::MakeRandom(static_cast<uint32_t>(state.range(0)), 60.0, 42);
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(graph->num_hosts(),
+                                                         43));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  for (auto _ : state) {
+    auto result = engine.Run(spec, core::RunConfig{}, 0);
+    benchmark::DoNotOptimize(result->value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WildfireDenseCountQuery)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_MillionHostActivation(benchmark::State& state) {
+  // The paged-state scenario: a COUNT query whose broadcast disc touches a
+  // small fraction of a large wireless grid. Arg = D-hat (disc radius is
+  // 2 * D-hat hops). Per-host protocol state materializes lazily, so the
+  // protocol-side cost scales with the disc, not the grid.
+  constexpr uint32_t kSide = 1000;  // 10^6 hosts
+  static auto grid = topology::MakeGrid(kSide);
+  static std::vector<double> values(grid->num_hosts(), 1.0);
+  core::QueryEngine engine(&*grid, values);
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  spec.d_hat = static_cast<double>(state.range(0));
+  core::RunConfig config;
+  config.sim_options.medium = sim::MediumKind::kWireless;
+  config.compute_validity = false;
+  const HostId hq = (kSide / 2) * kSide + kSide / 2;
+  size_t resident = 0;
+  for (auto _ : state) {
+    auto result = engine.Run(spec, config, hq);
+    resident = result->resident_state_bytes;
+    benchmark::DoNotOptimize(result->value);
+  }
+  state.counters["resident_state_MB"] =
+      static_cast<double>(resident) / 1e6;
+}
+BENCHMARK(BM_MillionHostActivation)
+    ->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
 void BM_ExponentialChurnMaterialized(benchmark::State& state) {
   // Baseline: build + sort the event vector, then schedule (the pre-PR-2
   // MakeExponentialLifetimeChurn + ScheduleChurn path).

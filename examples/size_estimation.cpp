@@ -3,8 +3,9 @@
 //
 //   1. Capture-recapture (Jolly-Seber): the monitoring peer keeps a set of
 //      marked hosts and estimates |H| = |M|*|N|/recaptures per interval.
-//   2. DHT-ring segments: on ring-structured overlays, s sampled hosts'
-//      segment lengths give the estimate s / X_s.
+//   2. DHT-ring segments: on ring-structured overlays, s lookups routed to
+//      uniform ring identifiers land on length-biased segments x_i; the
+//      mean reciprocal (1/s) * sum 1/x_i is unbiased for the alive count.
 //
 // A full WILDFIRE count costs O(|E|) messages; these cost O(samples).
 
@@ -45,7 +46,7 @@ int main() {
   std::printf("tracking a shrinking overlay (%u -> %u hosts)\n\n", kHosts,
               kHosts - kHosts * 55 / 100);
   std::printf("%6s %12s %18s %14s\n", "time", "true alive",
-              "capture-recapture", "ring s/Xs");
+              "capture-recapture", "ring segments");
 
   // Interleave: pump the simulation to each sampling instant, read both
   // estimators.

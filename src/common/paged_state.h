@@ -1,0 +1,89 @@
+// Lazily-paged per-host state.
+//
+// Used by every protocol for its per-host records and by the simulator for
+// its reverse neighbor-slot index. Every protocol keeps one state record
+// per host. Allocating that eagerly
+// (states_.assign(num_hosts, {})) makes query cost proportional to the
+// *network* size, not the *touched* size — the blocker for million-host
+// scenarios where a query's broadcast disc covers a few percent of the
+// graph. PagedStates allocates fixed-size pages on first touch instead: a
+// query that activates 1% of a 10M-host graph pays (roughly) for 1%.
+//
+// Records on an allocated page are value-initialized, exactly like the
+// elements of the eager vector they replace, and page storage is stable:
+// references returned by Touch()/Find() survive later Touch() calls (the
+// eager vector invalidated references on resize — a bug class this removes).
+//
+// Not thread-safe; one instance per owner per simulator thread.
+
+#ifndef VALIDITY_COMMON_PAGED_STATE_H_
+#define VALIDITY_COMMON_PAGED_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace validity {
+
+template <typename T>
+class PagedStates {
+ public:
+  // 256-record pages: fine enough that a broadcast disc crossing many rows
+  // of a row-major grid stays near-proportional to the disc, coarse enough
+  // that the page directory for 10M hosts is a few hundred KB.
+  static constexpr uint32_t kPageShift = 8;
+  static constexpr uint32_t kPageSize = 1u << kPageShift;  // records per page
+
+  /// Drops every page and re-arms the directory for `num_hosts` hosts.
+  /// O(pages previously touched), not O(num_hosts).
+  void Reset(uint32_t num_hosts) {
+    pages_.clear();
+    pages_.resize((static_cast<size_t>(num_hosts) + kPageSize - 1) >>
+                  kPageShift);
+    pages_touched_ = 0;
+  }
+
+  /// The record for host `h`, allocating (and value-initializing) its page
+  /// on first touch. Hosts beyond the Reset() bound (runtime joins) grow the
+  /// page directory transparently.
+  T& Touch(HostId h) {
+    size_t p = h >> kPageShift;
+    if (p >= pages_.size()) pages_.resize(p + 1);
+    if (pages_[p] == nullptr) {
+      pages_[p].reset(new T[kPageSize]());
+      ++pages_touched_;
+    }
+    return pages_[p][h & (kPageSize - 1)];
+  }
+
+  /// The record for host `h`, or nullptr if its page was never touched
+  /// (equivalent to the eager vector's value-initialized default — callers
+  /// treat "no page" as "default state").
+  const T* Find(HostId h) const {
+    size_t p = h >> kPageShift;
+    if (p >= pages_.size() || pages_[p] == nullptr) return nullptr;
+    return &pages_[p][h & (kPageSize - 1)];
+  }
+  T* Find(HostId h) {
+    return const_cast<T*>(static_cast<const PagedStates*>(this)->Find(h));
+  }
+
+  /// Pages currently resident.
+  uint32_t pages_touched() const { return pages_touched_; }
+  /// Bytes of record storage currently resident (the paging win: compare
+  /// against num_hosts * sizeof(T) for the eager layout).
+  size_t ResidentBytes() const {
+    return static_cast<size_t>(pages_touched_) * kPageSize * sizeof(T) +
+           pages_.capacity() * sizeof(pages_[0]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> pages_;
+  uint32_t pages_touched_ = 0;
+};
+
+}  // namespace validity
+
+#endif  // VALIDITY_COMMON_PAGED_STATE_H_

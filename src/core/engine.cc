@@ -95,6 +95,7 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
   result.value = protocol->result().value;
   result.declared = protocol->result().declared;
   result.d_hat_used = d_hat;
+  result.resident_state_bytes = protocol->ResidentStateBytes();
 
   const sim::Metrics& metrics = simulator.metrics();
   result.cost.messages = metrics.messages_sent();
@@ -105,21 +106,25 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
   result.cost.sends_per_tick = metrics.SendsPerTick();
   result.cost.computation_histogram = metrics.ComputationCostDistribution();
 
-  protocols::OracleReport oracle = protocols::ComputeOracle(
-      simulator, hq, /*t_begin=*/0.0, /*t_end=*/horizon, spec.aggregate,
-      values_);
-  result.validity.q_low = oracle.q_low;
-  result.validity.q_high = oracle.q_high;
-  result.validity.hc_size = oracle.hc.size();
-  result.validity.hu_size = oracle.hu.size();
-  result.validity.within = result.declared && oracle.Contains(result.value);
-  result.validity.within_slack =
-      result.declared && oracle.ContainsWithin(result.value,
-                                               kApproxSlackFactor);
+  // The ORACLE and the exact full aggregate read ground truth for the whole
+  // network; million-host callers that touch a small disc skip them.
+  if (config.compute_validity) {
+    protocols::OracleReport oracle = protocols::ComputeOracle(
+        simulator, hq, /*t_begin=*/0.0, /*t_end=*/horizon, spec.aggregate,
+        values_);
+    result.validity.q_low = oracle.q_low;
+    result.validity.q_high = oracle.q_high;
+    result.validity.hc_size = oracle.hc.size();
+    result.validity.hu_size = oracle.hu.size();
+    result.validity.within = result.declared && oracle.Contains(result.value);
+    result.validity.within_slack =
+        result.declared && oracle.ContainsWithin(result.value,
+                                                 kApproxSlackFactor);
 
-  std::vector<HostId> everyone(graph_->num_hosts());
-  for (HostId h = 0; h < graph_->num_hosts(); ++h) everyone[h] = h;
-  result.exact_full = ExactAggregate(spec.aggregate, values_, everyone);
+    std::vector<HostId> everyone(graph_->num_hosts());
+    for (HostId h = 0; h < graph_->num_hosts(); ++h) everyone[h] = h;
+    result.exact_full = ExactAggregate(spec.aggregate, values_, everyone);
+  }
   return result;
 }
 

@@ -63,12 +63,18 @@ struct QueryResult {
   double value = 0.0;
   bool declared = false;
   CostReport cost;
+  /// Populated only when RunConfig.compute_validity (the default); an
+  /// all-zero report otherwise.
   ValidityReport validity;
   /// The exact aggregate over all initially-alive hosts (ground truth for
-  /// relative-error reporting).
+  /// relative-error reporting). 0 when compute_validity is off.
   double exact_full = 0.0;
   /// D-hat actually used (useful when QuerySpec.d_hat was 0 = auto).
   double d_hat_used = 0.0;
+  /// Bytes of per-host protocol state the run materialized. Protocol state
+  /// is paged lazily, so this tracks the hosts the query touched, not the
+  /// network size.
+  size_t resident_state_bytes = 0;
 };
 
 /// Multiplicative slack granted to approximate answers in

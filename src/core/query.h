@@ -43,6 +43,11 @@ struct RunConfig {
   /// Seeds: same seeds => bit-identical run.
   uint64_t churn_seed = 1;
   uint64_t sketch_seed = 2;
+  /// Compute the ORACLE validity interval and the exact full aggregate
+  /// after the run. Both are O(network) ground-truth passes; million-host
+  /// scenarios that only touch a small disc of the graph turn this off so
+  /// query cost stays proportional to the touched fraction.
+  bool compute_validity = true;
 };
 
 /// D-hat safety margin added to the estimated diameter when QuerySpec.d_hat

@@ -7,45 +7,40 @@ AllReportProtocol::AllReportProtocol(sim::Simulator* sim, QueryContext ctx,
     : ProtocolBase(sim, std::move(ctx)), options_(options) {}
 
 void AllReportProtocol::Activate(HostId self, HostId parent, int32_t depth) {
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState& st = states_.Touch(self);
   st.active = true;
   st.parent = parent;
   st.depth = depth;
 
   // Fig. 2: forward the query, report own value, terminate.
-  auto flood = std::make_shared<FloodBody>();
-  flood->hop = depth;
   sim::Message out;
   out.kind = MakeKind(kBroadcast);
-  out.body = flood;
-  sim_->SendToNeighbors(self, out);
+  out.StoreInline(HopPayload{depth}, sizeof(int32_t));
+  sim_->SendToNeighbors(self, std::move(out));
 
-  auto report = std::make_shared<ValueReportBody>();
-  report->origin = self;
-  report->value = HostValue(self);
+  ValueReportPayload report{self, HostValue(self)};
   if (self == hq_) {
-    collected_.AddHost(report->value);
+    collected_.AddHost(report.value);
     ++reports_collected_;
   } else {
     SendReport(self, report);
   }
 }
 
-void AllReportProtocol::SendReport(
-    HostId self, std::shared_ptr<const ValueReportBody> body) {
+void AllReportProtocol::SendReport(HostId self,
+                                   const ValueReportPayload& payload) {
   sim::Message msg;
   msg.kind = MakeKind(kReport);
-  msg.body = std::move(body);
+  msg.StoreInline(payload, kReportWireBytes);
   if (options_.routing == ReportRouting::kDirect) {
-    sim_->SendDirect(self, hq_, msg);
+    sim_->SendDirect(self, hq_, std::move(msg));
     return;
   }
   RelayTowardRoot(self, msg);
 }
 
 void AllReportProtocol::RelayTowardRoot(HostId self, const sim::Message& msg) {
-  const HostState& st = states_[self];
+  const HostState& st = *states_.Find(self);
   // Prefer the broadcast parent; if it is known dead, fall back to any alive
   // neighbor (the relay still only moves along overlay edges).
   HostId next = st.parent;
@@ -63,7 +58,7 @@ void AllReportProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  states_.assign(sim_->num_hosts(), HostState{});
+  states_.Reset(sim_->num_hosts());
   collected_ = ScalarPartial{};
   reports_collected_ = 0;
   Activate(hq, kInvalidHost, 0);
@@ -81,27 +76,26 @@ void AllReportProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
 void AllReportProtocol::OnMessage(HostId self, const sim::Message& msg) {
   uint32_t local = 0;
   if (!DecodeKind(msg.kind, &local)) return;
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  const HostState* stp = states_.Find(self);
 
   if (local == kBroadcast) {
-    if (st.active) return;
+    if (stp != nullptr && stp->active) return;
     if (sim_->Now() >= Horizon()) return;
-    const auto& body = static_cast<const FloodBody&>(*msg.body);
-    Activate(self, msg.src, body.hop + 1);
+    Activate(self, msg.src, msg.LoadInline<HopPayload>().hop + 1);
     return;
   }
 
   if (local == kReport) {
     if (sim_->Now() > Horizon()) return;  // late reports are discarded
-    const auto& body = static_cast<const ValueReportBody&>(*msg.body);
     if (self == hq_) {
-      collected_.AddHost(body.value);
+      collected_.AddHost(msg.LoadInline<ValueReportPayload>().value);
       ++reports_collected_;
       return;
     }
     // Relay duty (reverse-path routing only).
-    if (!st.active) return;  // cannot route without a parent pointer
+    if (stp == nullptr || !stp->active) {
+      return;  // cannot route without a parent pointer
+    }
     RelayTowardRoot(self, msg);
   }
 }

@@ -39,6 +39,9 @@ class AllReportProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   std::string_view name() const override { return "all-report"; }
+  size_t ResidentStateBytes() const override {
+    return states_.ResidentBytes();
+  }
 
   /// Number of hosts whose values reached hq (|M|, including hq itself).
   uint64_t reports_collected() const { return reports_collected_; }
@@ -49,18 +52,13 @@ class AllReportProtocol : public ProtocolBase {
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
 
-  struct FloodBody : sim::MessageBody {
-    int32_t hop = 0;
-    size_t SizeBytes() const override { return sizeof(int32_t); }
-  };
-
-  struct ValueReportBody : sim::MessageBody {
+  /// Inline wire payloads (this protocol allocates nothing per message).
+  struct ValueReportPayload {
     HostId origin = kInvalidHost;
     double value = 0.0;
-    size_t SizeBytes() const override {
-      return sizeof(HostId) + sizeof(double);
-    }
   };
+  static constexpr uint32_t kReportWireBytes =
+      sizeof(HostId) + sizeof(double);
 
   struct HostState {
     bool active = false;
@@ -69,11 +67,11 @@ class AllReportProtocol : public ProtocolBase {
   };
 
   void Activate(HostId self, HostId parent, int32_t depth);
-  void SendReport(HostId self, std::shared_ptr<const ValueReportBody> body);
+  void SendReport(HostId self, const ValueReportPayload& payload);
   void RelayTowardRoot(HostId self, const sim::Message& msg);
 
   AllReportOptions options_;
-  std::vector<HostState> states_;
+  PagedStates<HostState> states_;
   ScalarPartial collected_;
   uint64_t reports_collected_ = 0;
 };

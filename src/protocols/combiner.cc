@@ -112,6 +112,15 @@ PartialAggregate PartialAggregate::Identity(CombinerKind kind,
   return a;
 }
 
+PartialAggregate PartialAggregate::FromScalar(CombinerKind kind,
+                                              double value) {
+  VALIDITY_DCHECK(kind == CombinerKind::kMin || kind == CombinerKind::kMax,
+                  "FromScalar is for scalar combiners");
+  PartialAggregate a(kind);
+  a.scalar_ = value;
+  return a;
+}
+
 bool PartialAggregate::CombineFrom(const PartialAggregate& other) {
   VALIDITY_CHECK(kind_ == other.kind_, "combining %s with %s",
                  CombinerKindName(kind_), CombinerKindName(other.kind_));
@@ -148,6 +157,44 @@ bool PartialAggregate::CombineFrom(const PartialAggregate& other) {
   }
   VALIDITY_CHECK(false, "unknown combiner kind");
   return false;
+}
+
+PartialAggregate::CombineOutcome PartialAggregate::CombineCompare(
+    const PartialAggregate& other) {
+  VALIDITY_CHECK(kind_ == other.kind_, "combining %s with %s",
+                 CombinerKindName(kind_), CombinerKindName(other.kind_));
+  switch (kind_) {
+    case CombinerKind::kMin:
+    case CombinerKind::kMax: {
+      bool changed = CombineFrom(other);
+      return CombineOutcome{changed, scalar_ == other.scalar_};
+    }
+    case CombinerKind::kFmCount:
+    case CombinerKind::kFmSum: {
+      auto m = primary_.MergeOrCompare(other.primary_);
+      return CombineOutcome{m.changed, m.same_as_other};
+    }
+    case CombinerKind::kFmAverage: {
+      auto p = primary_.MergeOrCompare(other.primary_);
+      auto s = secondary_.MergeOrCompare(other.secondary_);
+      return CombineOutcome{p.changed || s.changed,
+                            p.same_as_other && s.same_as_other};
+    }
+    case CombinerKind::kUnionCount:
+    case CombinerKind::kUnionSum:
+    case CombinerKind::kUnionAverage: {
+      bool changed = false;
+      for (const auto& [id, value] : other.items_) {
+        changed |= items_.emplace(id, value).second;
+      }
+      // The merged set contains other's set, so equality reduces to a size
+      // check (a host id always maps to the same value within one query,
+      // the invariant every duplicate-insensitive combine relies on).
+      return CombineOutcome{changed, items_.size() == other.items_.size()};
+    }
+  }
+  VALIDITY_CHECK(false, "unknown combiner kind");
+  return CombineOutcome{};
 }
 
 bool PartialAggregate::SameAs(const PartialAggregate& other) const {

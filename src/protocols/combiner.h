@@ -53,6 +53,11 @@ CombinerKind CombinerFor(AggregateKind kind, bool exact);
 /// "did my aggregate change / does my neighbor already know this" tests.
 class PartialAggregate {
  public:
+  /// An unset aggregate (kind kMin, no payload). Exists so pooled message
+  /// bodies can default-construct their aggregate slot without touching the
+  /// allocator; overwrite it (copy-assign) before use.
+  PartialAggregate() = default;
+
   /// The initial A_h of host `self` holding attribute `value`. For FM kinds
   /// the host's sketch bits are drawn from `rng` (each host derives its own
   /// deterministic stream). `value` must be a non-negative integer for
@@ -67,13 +72,30 @@ class PartialAggregate {
   static PartialAggregate Identity(CombinerKind kind,
                                    const sketch::FmParams& params);
 
+  /// A scalar (kMin/kMax) aggregate holding `value`. Allocation-free; the
+  /// receive path for inline scalar payloads reconstructs aggregates with
+  /// this.
+  static PartialAggregate FromScalar(CombinerKind kind, double value);
+
   CombinerKind kind() const { return kind_; }
+  /// The scalar payload of a kMin/kMax aggregate (what FromScalar stores).
+  double scalar_value() const { return scalar_; }
 
   /// A_h := Combine(A_h, other). Returns true iff A_h changed.
   bool CombineFrom(const PartialAggregate& other);
 
   /// Structural equality (same information content).
   bool SameAs(const PartialAggregate& other) const;
+
+  /// Outcome of a fused combine+compare (see CombineCompare).
+  struct CombineOutcome {
+    bool changed = false;        // A_h changed
+    bool same_as_other = false;  // after combining, A_h == other
+  };
+
+  /// CombineFrom fused with the SameAs(other) test WILDFIRE runs after
+  /// every combine — one pass over the FM words instead of two.
+  CombineOutcome CombineCompare(const PartialAggregate& other);
 
   /// Final answer extraction at the querying host.
   double Estimate() const;
@@ -84,7 +106,7 @@ class PartialAggregate {
  private:
   explicit PartialAggregate(CombinerKind kind) : kind_(kind) {}
 
-  CombinerKind kind_;
+  CombinerKind kind_ = CombinerKind::kMin;
   double scalar_ = 0.0;                 // min / max
   sketch::FmSketch primary_;            // count or sum sketch
   sketch::FmSketch secondary_;          // count sketch for kFmAverage

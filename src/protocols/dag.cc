@@ -11,13 +11,15 @@ DagProtocol::DagProtocol(sim::Simulator* sim, QueryContext ctx,
 }
 
 const std::vector<HostId>& DagProtocol::ParentsOf(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return empty_;
-  return states_[h].parents;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return empty_;
+  return st->parents;
 }
 
 int32_t DagProtocol::DepthOf(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return -1;
-  return states_[h].depth;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return -1;
+  return st->depth;
 }
 
 SimTime DagProtocol::SlotTime(int32_t depth, SimTime activation_time) const {
@@ -28,8 +30,7 @@ SimTime DagProtocol::SlotTime(int32_t depth, SimTime activation_time) const {
 }
 
 void DagProtocol::Activate(HostId self, HostId first_parent, int32_t depth) {
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState& st = states_.Touch(self);
   st.active = true;
   st.depth = depth;
   if (first_parent != kInvalidHost) st.parents.push_back(first_parent);
@@ -37,14 +38,14 @@ void DagProtocol::Activate(HostId self, HostId first_parent, int32_t depth) {
 
   // Forward the query; the forward registers this host with its first
   // parent (additional parents get explicit registrations in kEager).
-  auto body = std::make_shared<DagBroadcastBody>();
-  body->hop = depth;
-  body->first_parent =
-      options_.pacing == TreePacing::kEager ? first_parent : kInvalidHost;
   sim::Message out;
   out.kind = MakeKind(kBroadcast);
-  out.body = body;
-  sim_->SendToNeighbors(self, out);
+  out.StoreInline(
+      DagBroadcastPayload{
+          depth,
+          options_.pacing == TreePacing::kEager ? first_parent : kInvalidHost},
+      sizeof(int32_t) + sizeof(HostId));
+  sim_->SendToNeighbors(self, std::move(out));
 
   SimTime delta = sim_->options().delta;
   if (options_.pacing == TreePacing::kEager) {
@@ -59,7 +60,7 @@ void DagProtocol::Activate(HostId self, HostId first_parent, int32_t depth) {
 void DagProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
   switch (local_id) {
     case kTimerChildrenKnown:
-      states_[self].children_known = true;
+      states_.Find(self)->children_known = true;
       MaybeCompleteEager(self);
       break;
     case kTimerSlot:
@@ -75,19 +76,17 @@ void DagProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
 }
 
 void DagProtocol::AdoptExtraParent(HostId self, HostId parent) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   st.parents.push_back(parent);
   if (options_.pacing != TreePacing::kEager) return;
   // Tell the extra parent it has a child to wait for.
-  auto body = std::make_shared<RegisterBody>();
-  body->to_parent = parent;
   sim::Message out;
   out.kind = MakeKind(kRegister);
-  out.body = body;
+  out.StoreInline(RegisterPayload{parent}, sizeof(HostId));
   if (sim_->options().medium == sim::MediumKind::kWireless) {
-    sim_->SendToNeighbors(self, out);
+    sim_->SendToNeighbors(self, std::move(out));
   } else {
-    sim_->SendTo(self, parent, out);
+    sim_->SendTo(self, parent, std::move(out));
   }
 }
 
@@ -95,7 +94,7 @@ void DagProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  states_.assign(sim_->num_hosts(), HostState{});
+  states_.Reset(sim_->num_hosts());
   Activate(hq, kInvalidHost, 0);
   ScheduleLocalTimer(hq, Horizon(), kTimerDeclare);
 }
@@ -103,20 +102,20 @@ void DagProtocol::Start(HostId hq) {
 void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {
   uint32_t local = 0;
   if (!DecodeKind(msg.kind, &local)) return;
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState* stp = states_.Find(self);
 
   if (local == kBroadcast) {
-    const auto& body = static_cast<const DagBroadcastBody&>(*msg.body);
-    if (!st.active) {
+    const auto in = msg.LoadInline<DagBroadcastPayload>();
+    if (stp == nullptr || !stp->active) {
       if (sim_->Now() >= Horizon()) return;
-      Activate(self, msg.src, body.hop + 1);
+      Activate(self, msg.src, in.hop + 1);
       return;
     }
+    HostState& st = *stp;
     // Additional parent: a same-wave copy from one level up, adopted until
     // k parents are held (copies from the previous wave all land at this
     // same instant, before any report could have been sent).
-    if (!st.sent_up && body.hop == st.depth - 1 &&
+    if (!st.sent_up && in.hop == st.depth - 1 &&
         st.parents.size() < options_.max_parents &&
         std::find(st.parents.begin(), st.parents.end(), msg.src) ==
             st.parents.end()) {
@@ -124,15 +123,14 @@ void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {
     }
     // Child registration with the first parent (kEager only; kSlotted
     // forwards carry kInvalidHost here).
-    if (body.first_parent == self) st.pending_children.push_back(msg.src);
+    if (in.first_parent == self) st.pending_children.push_back(msg.src);
     return;
   }
 
   if (local == kRegister) {
-    const auto& body = static_cast<const RegisterBody&>(*msg.body);
-    if (body.to_parent != self) return;
-    if (!st.active || st.sent_up) return;
-    st.pending_children.push_back(msg.src);
+    if (msg.LoadInline<RegisterPayload>().to_parent != self) return;
+    if (stp == nullptr || !stp->active || stp->sent_up) return;
+    stp->pending_children.push_back(msg.src);
     return;
   }
 
@@ -142,7 +140,8 @@ void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {
         body.to_parents.end()) {
       return;  // overheard on the wireless medium / not an addressee
     }
-    if (!st.active || st.sent_up) return;
+    if (stp == nullptr || !stp->active || stp->sent_up) return;
+    HostState& st = *stp;
     st.agg->CombineFrom(body.agg);  // duplicate-insensitive merge
     if (self == hq_) result_.last_update_at = sim_->Now();
     auto it = std::find(st.pending_children.begin(), st.pending_children.end(),
@@ -154,8 +153,9 @@ void DagProtocol::OnMessage(HostId self, const sim::Message& msg) {
 
 void DagProtocol::OnNeighborFailure(HostId self, HostId failed) {
   if (options_.pacing != TreePacing::kEager) return;
-  if (self >= states_.size()) return;
-  HostState& st = states_[self];
+  HostState* stp = states_.Find(self);
+  if (stp == nullptr) return;
+  HostState& st = *stp;
   if (!st.active || st.sent_up) return;
   auto it =
       std::find(st.pending_children.begin(), st.pending_children.end(), failed);
@@ -166,29 +166,30 @@ void DagProtocol::OnNeighborFailure(HostId self, HostId failed) {
 }
 
 void DagProtocol::MaybeCompleteEager(HostId self) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   if (!st.active || st.sent_up || !st.children_known) return;
   if (!st.pending_children.empty()) return;
   SendUp(self);
 }
 
 void DagProtocol::SendUp(HostId self) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   if (!st.active || st.sent_up) return;
   st.sent_up = true;
   if (self == hq_) {
     if (options_.pacing == TreePacing::kEager) Declare(self);
     return;  // kSlotted: the root declares at the horizon
   }
-  auto body = std::make_shared<DagReportBody>(*st.agg);
+  DagReportBody* body = report_pool_.Acquire();
+  body->agg = *st.agg;
   body->to_parents = st.parents;
   sim::Message out;
   out.kind = MakeKind(kReport);
-  out.body = body;
+  out.body = sim::BodyRef(body);
   if (sim_->options().medium == sim::MediumKind::kWireless) {
     // One transmission reaches every parent (paper §6.6: on Grid the DAG
     // convergecast costs the same as the tree's, whatever k is).
-    sim_->SendToNeighbors(self, out);
+    sim_->SendToNeighbors(self, std::move(out));
     return;
   }
   for (HostId p : st.parents) {
@@ -198,7 +199,7 @@ void DagProtocol::SendUp(HostId self) {
 
 void DagProtocol::Declare(HostId self) {
   if (result_.declared) return;
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   result_.value = st.agg->Estimate();
   result_.declared_at = sim_->Now();
   result_.declared = true;

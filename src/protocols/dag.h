@@ -41,6 +41,9 @@ class DagProtocol : public ProtocolBase {
   void OnMessage(HostId self, const sim::Message& msg) override;
   void OnNeighborFailure(HostId self, HostId failed) override;
   std::string_view name() const override { return "dag"; }
+  size_t ResidentStateBytes() const override {
+    return states_.ResidentBytes();
+  }
 
   /// Parents adopted by `h` (empty if never activated).
   const std::vector<HostId>& ParentsOf(HostId h) const;
@@ -61,21 +64,20 @@ class DagProtocol : public ProtocolBase {
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
 
-  struct DagBroadcastBody : sim::MessageBody {
+  /// Inline wire payloads for the small fixed-size messages.
+  struct DagBroadcastPayload {
     int32_t hop = 0;                     // sender's depth
     HostId first_parent = kInvalidHost;  // parent registered by the forward
-    size_t SizeBytes() const override {
-      return sizeof(int32_t) + sizeof(HostId);
-    }
   };
-
-  struct RegisterBody : sim::MessageBody {
+  struct RegisterPayload {
     HostId to_parent = kInvalidHost;  // addressee (wireless filtering)
-    size_t SizeBytes() const override { return sizeof(HostId); }
   };
 
+  /// Pooled report body: the aggregate plus the addressee list. Recycled
+  /// bodies keep the sketch words' and parent vector's capacity, so
+  /// steady-state reports allocate nothing.
   struct DagReportBody : sim::MessageBody {
-    explicit DagReportBody(PartialAggregate a) : agg(std::move(a)) {}
+    DagReportBody() = default;
     PartialAggregate agg;
     std::vector<HostId> to_parents;  // addressees (wireless filtering)
     size_t SizeBytes() const override {
@@ -101,7 +103,8 @@ class DagProtocol : public ProtocolBase {
   void Declare(HostId self);
 
   DagOptions options_;
-  std::vector<HostState> states_;
+  PagedStates<HostState> states_;
+  sim::BodyPool<DagReportBody> report_pool_;
   std::vector<HostId> empty_;
 };
 

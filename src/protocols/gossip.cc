@@ -13,15 +13,14 @@ GossipProtocol::GossipProtocol(sim::Simulator* sim, QueryContext ctx,
 }
 
 double GossipProtocol::LocalEstimate(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return 0.0;
-  const HostState& st = states_[h];
-  if (IsExtremum()) return st.scalar;
-  return st.weight > 0.0 ? st.value / st.weight : 0.0;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return 0.0;
+  if (IsExtremum()) return st->scalar;
+  return st->weight > 0.0 ? st->value / st->weight : 0.0;
 }
 
 void GossipProtocol::Activate(HostId self, int32_t hop) {
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState& st = states_.Touch(self);
   st.active = true;
   switch (ctx_.aggregate) {
     case AggregateKind::kCount:
@@ -42,25 +41,32 @@ void GossipProtocol::Activate(HostId self, int32_t hop) {
       break;
   }
 
-  // Forward the activation flood.
-  auto body = std::make_shared<PushBody>();
+  // Forward the activation flood (fixed-size zero payload, no allocation).
   sim::Message out;
   out.kind = MakeKind(kBroadcast);
-  out.body = body;
-  sim_->SendToNeighbors(self, out);
+  out.StoreInline(PushPayload{}, kPushWireBytes);
+  sim_->SendToNeighbors(self, std::move(out));
 
-  // One gossip exchange per round, offset off the delivery grid.
-  SimTime delta = sim_->options().delta;
-  SimTime first = sim_->Now() + 0.5 * delta;
-  for (uint32_t r = 0; r < options_.rounds; ++r) {
-    ScheduleLocalTimer(self, first + r * delta, kTimerRound);
-  }
+  // One gossip exchange per round, offset off the delivery grid. The timer
+  // re-arms itself round by round: only one round bucket is ever pending
+  // per host, so the calendar recycles drained buckets instead of growing
+  // sixty of them upfront.
+  st.rounds_left = options_.rounds;
+  ScheduleLocalTimer(self, sim_->Now() + 0.5 * sim_->options().delta,
+                     kTimerRound);
   (void)hop;
 }
 
 void GossipProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
   if (local_id == kTimerRound) {
+    HostState* st = states_.Find(self);
+    if (st == nullptr || !st->active || st->rounds_left == 0) return;
+    --st->rounds_left;
     DoRound(self);
+    if (st->rounds_left > 0) {
+      ScheduleLocalTimer(self, sim_->Now() + sim_->options().delta,
+                         kTimerRound);
+    }
     return;
   }
   if (local_id == kTimerDeclare) {
@@ -74,7 +80,7 @@ void GossipProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  states_.assign(sim_->num_hosts(), HostState{});
+  states_.Reset(sim_->num_hosts());
   Activate(hq, 0);
   SimTime delta = sim_->options().delta;
   ScheduleLocalTimer(hq, start_time_ + (options_.rounds + 2) * delta,
@@ -82,8 +88,9 @@ void GossipProtocol::Start(HostId hq) {
 }
 
 void GossipProtocol::DoRound(HostId self) {
-  HostState& st = states_[self];
-  if (!st.active) return;
+  HostState* stp = states_.Find(self);
+  if (stp == nullptr || !stp->active) return;
+  HostState& st = *stp;
   // Uniform alive neighbor (reservoir pick).
   HostId partner = kInvalidHost;
   uint32_t seen = 0;
@@ -93,51 +100,50 @@ void GossipProtocol::DoRound(HostId self) {
   });
   if (partner == kInvalidHost) return;  // isolated this round
 
-  auto body = std::make_shared<PushBody>();
+  PushPayload payload;
   if (IsExtremum()) {
-    body->scalar = st.scalar;
+    payload.scalar = st.scalar;
   } else {
     // Push-sum: keep half the mass, push half.
     st.value /= 2.0;
     st.weight /= 2.0;
-    body->value = st.value;
-    body->weight = st.weight;
+    payload.value = st.value;
+    payload.weight = st.weight;
   }
   sim::Message out;
   out.kind = MakeKind(kPush);
-  out.body = body;
-  sim_->SendTo(self, partner, out);
+  out.StoreInline(payload, kPushWireBytes);
+  sim_->SendTo(self, partner, std::move(out));
 }
 
 void GossipProtocol::OnMessage(HostId self, const sim::Message& msg) {
   uint32_t local = 0;
   if (!DecodeKind(msg.kind, &local)) return;
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState* stp = states_.Find(self);
 
   if (local == kBroadcast) {
-    if (st.active) return;
+    if (stp != nullptr && stp->active) return;
     if (sim_->Now() >= Horizon()) return;
     Activate(self, 0);
     return;
   }
 
   if (local == kPush) {
-    if (!st.active) {
+    if (stp == nullptr || !stp->active) {
       // Mass arriving at a host the flood has not reached yet would be
       // destroyed; activate on first contact instead (gossip protocols
       // spread the query epidemically too).
       Activate(self, 0);
     }
-    const auto& body = static_cast<const PushBody&>(*msg.body);
-    HostState& fresh = states_[self];
+    const PushPayload in = msg.LoadInline<PushPayload>();
+    HostState& fresh = *states_.Find(self);
     if (IsExtremum()) {
       fresh.scalar = ctx_.aggregate == AggregateKind::kMin
-                         ? std::min(fresh.scalar, body.scalar)
-                         : std::max(fresh.scalar, body.scalar);
+                         ? std::min(fresh.scalar, in.scalar)
+                         : std::max(fresh.scalar, in.scalar);
     } else {
-      fresh.value += body.value;
-      fresh.weight += body.weight;
+      fresh.value += in.value;
+      fresh.weight += in.weight;
     }
   }
 }

@@ -44,6 +44,9 @@ class GossipProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   std::string_view name() const override { return "gossip"; }
+  size_t ResidentStateBytes() const override {
+    return states_.ResidentBytes();
+  }
 
   /// Local estimate currently held by `h` (value/weight for push-sum).
   double LocalEstimate(HostId h) const;
@@ -54,15 +57,19 @@ class GossipProtocol : public ProtocolBase {
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
 
-  struct PushBody : sim::MessageBody {
+  /// Inline wire payload: push-sum mass or the min/max scalar. The
+  /// activation broadcast carries an (ignored) zero payload of the same
+  /// size, preserving the protocol's fixed 24-byte message format.
+  struct PushPayload {
     double value = 0.0;
     double weight = 0.0;
     double scalar = 0.0;  // min/max variant
-    size_t SizeBytes() const override { return 3 * sizeof(double); }
   };
+  static constexpr uint32_t kPushWireBytes = 3 * sizeof(double);
 
   struct HostState {
     bool active = false;
+    uint32_t rounds_left = 0;  // gossip exchanges still to run
     double value = 0.0;   // push-sum numerator mass
     double weight = 0.0;  // push-sum denominator mass
     double scalar = 0.0;  // min/max running extreme
@@ -78,7 +85,7 @@ class GossipProtocol : public ProtocolBase {
 
   GossipOptions options_;
   Rng partner_rng_;
-  std::vector<HostState> states_;
+  PagedStates<HostState> states_;
 };
 
 }  // namespace validity::protocols

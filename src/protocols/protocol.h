@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "protocols/combiner.h"
+#include "common/paged_state.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
 #include "sketch/fm_sketch.h"
@@ -70,6 +71,11 @@ class ProtocolBase : public sim::HostProgram {
 
   const ProtocolRunResult& result() const { return result_; }
   virtual std::string_view name() const = 0;
+
+  /// Bytes of per-host state currently resident. Protocols page their state
+  /// lazily (see PagedStates), so this is proportional to the hosts a query
+  /// actually touched, not the network size.
+  virtual size_t ResidentStateBytes() const { return 0; }
 
   /// Routes simulator timers to this instance's OnLocalTimer, discarding
   /// stale timers from other protocol instances (continuous queries swap
@@ -149,11 +155,29 @@ class ProtocolBase : public sim::HostProgram {
 };
 
 /// Message body carrying a partial aggregate (convergecast payload).
+/// Pool-friendly: default-constructible without touching the allocator, and
+/// copy-assigning `agg` into a recycled body reuses the sketch buffers.
 struct AggregateBody : sim::MessageBody {
+  AggregateBody() = default;
   explicit AggregateBody(PartialAggregate a) : agg(std::move(a)) {}
   size_t SizeBytes() const override { return agg.SizeBytes(); }
 
   PartialAggregate agg;
+};
+
+/// Small inline payloads shared by the flooding protocols.
+struct HopPayload {
+  int32_t hop = 0;
+};
+/// Broadcast forward with a piggybacked scalar aggregate (WILDFIRE kMin /
+/// kMax piggyback path).
+struct HopScalarPayload {
+  int32_t hop = 0;
+  double scalar = 0.0;
+};
+/// Convergecast of a scalar aggregate.
+struct ScalarAggregatePayload {
+  double scalar = 0.0;
 };
 
 }  // namespace validity::protocols

@@ -25,16 +25,12 @@ RandomizedReportProtocol::RandomizedReportProtocol(
 }
 
 void RandomizedReportProtocol::Activate(HostId self, int32_t depth) {
-  if (self >= active_.size()) active_.resize(self + 1, 0);
-  active_[self] = 1;
+  active_.Touch(self) = 1;
 
-  auto flood = std::make_shared<FloodBody>();
-  flood->hop = depth;
-  flood->p = p_;
   sim::Message out;
   out.kind = MakeKind(kBroadcast);
-  out.body = flood;
-  sim_->SendToNeighbors(self, out);
+  out.StoreInline(FloodPayload{depth, p_}, sizeof(int32_t) + sizeof(double));
+  sim_->SendToNeighbors(self, std::move(out));
 
   // Flip the report coin (deterministic per host and query).
   Rng coin(Mix64(options_.coin_seed ^
@@ -45,19 +41,17 @@ void RandomizedReportProtocol::Activate(HostId self, int32_t depth) {
     sample_sum_ += HostValue(self);
     return;
   }
-  auto report = std::make_shared<SampleReportBody>();
-  report->value = HostValue(self);
   sim::Message msg;
   msg.kind = MakeKind(kReport);
-  msg.body = report;
-  sim_->SendDirect(self, hq_, msg);
+  msg.StoreInline(SampleReportPayload{HostValue(self)}, sizeof(double));
+  sim_->SendDirect(self, hq_, std::move(msg));
 }
 
 void RandomizedReportProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  active_.assign(sim_->num_hosts(), 0);
+  active_.Reset(sim_->num_hosts());
   reports_collected_ = 0;
   sample_sum_ = 0.0;
   Activate(hq, 0);
@@ -80,18 +74,17 @@ void RandomizedReportProtocol::OnMessage(HostId self, const sim::Message& msg) {
   if (!DecodeKind(msg.kind, &local)) return;
 
   if (local == kBroadcast) {
-    if (self < active_.size() && active_[self]) return;
+    const uint8_t* active = active_.Find(self);
+    if (active != nullptr && *active) return;
     if (sim_->Now() >= Horizon()) return;
-    const auto& body = static_cast<const FloodBody&>(*msg.body);
-    Activate(self, body.hop + 1);
+    Activate(self, msg.LoadInline<FloodPayload>().hop + 1);
     return;
   }
 
   if (local == kReport && self == hq_) {
     if (sim_->Now() > Horizon()) return;
-    const auto& body = static_cast<const SampleReportBody&>(*msg.body);
     ++reports_collected_;
-    sample_sum_ += body.value;
+    sample_sum_ += msg.LoadInline<SampleReportPayload>().value;
   }
 }
 

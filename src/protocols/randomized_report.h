@@ -41,6 +41,9 @@ class RandomizedReportProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   std::string_view name() const override { return "randomized-report"; }
+  size_t ResidentStateBytes() const override {
+    return active_.ResidentBytes();
+  }
 
   /// The report probability actually used.
   double report_probability() const { return p_; }
@@ -52,24 +55,20 @@ class RandomizedReportProtocol : public ProtocolBase {
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
 
-  struct FloodBody : sim::MessageBody {
+  /// Inline wire payloads (this protocol allocates nothing per message).
+  struct FloodPayload {
     int32_t hop = 0;
     double p = 1.0;
-    size_t SizeBytes() const override {
-      return sizeof(int32_t) + sizeof(double);
-    }
   };
-
-  struct SampleReportBody : sim::MessageBody {
+  struct SampleReportPayload {
     double value = 0.0;
-    size_t SizeBytes() const override { return sizeof(double); }
   };
 
   void Activate(HostId self, int32_t depth);
 
   RandomizedReportOptions options_;
   double p_ = 1.0;
-  std::vector<uint8_t> active_;
+  PagedStates<uint8_t> active_;
   uint64_t reports_collected_ = 0;
   double sample_sum_ = 0.0;
 };

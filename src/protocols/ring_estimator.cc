@@ -26,10 +26,12 @@ RingSizeEstimator::AliveRing RingSizeEstimator::BuildAliveRing() const {
     return PositionOf(a) < PositionOf(b);
   });
   size_t n = ring.hosts.size();
+  ring.positions.resize(n);
   ring.segments.resize(n);
+  for (size_t i = 0; i < n; ++i) ring.positions[i] = PositionOf(ring.hosts[i]);
   for (size_t i = 0; i < n; ++i) {
-    double here = PositionOf(ring.hosts[i]);
-    double pred = PositionOf(ring.hosts[(i + n - 1) % n]);
+    double here = ring.positions[i];
+    double pred = ring.positions[(i + n - 1) % n];
     double seg = here - pred;
     if (seg <= 0.0) seg += 1.0;        // wraps around the ring origin
     if (n == 1) seg = 1.0;             // a lone host owns the whole ring
@@ -54,12 +56,25 @@ StatusOr<double> RingSizeEstimator::EstimateSize(uint32_t s, Rng* rng) const {
   if (ring.hosts.empty()) {
     return Status::FailedPrecondition("no alive hosts on the ring");
   }
-  double x_s = 0.0;
+  size_t n = ring.hosts.size();
+  double inv_sum = 0.0;
   for (uint32_t i = 0; i < s; ++i) {
-    x_s += ring.segments[rng->NextBelow(ring.hosts.size())];
+    // Route a lookup to a uniform identifier u; it lands on u's successor
+    // (the first host at or after u; past the last host it wraps to the
+    // first), whose segment contains u. The segment is thus hit with
+    // probability equal to its length — the sampling a real DHT performs.
+    double u = rng->NextDouble();
+    size_t owner = std::lower_bound(ring.positions.begin(),
+                                    ring.positions.end(), u) -
+                   ring.positions.begin();
+    if (owner == n) owner = 0;  // wrap: u beyond the last host
+    double seg = ring.segments[owner];
+    if (seg <= 0.0) return Status::Internal("degenerate segment sample");
+    // Length-biased draws make the reciprocal unbiased for the host count:
+    // E[1/x] = sum_i seg_i * (1/seg_i) = n.
+    inv_sum += 1.0 / seg;
   }
-  if (x_s <= 0.0) return Status::Internal("degenerate segment sample");
-  return static_cast<double>(s) / x_s;
+  return inv_sum / static_cast<double>(s);
 }
 
 }  // namespace validity::protocols

@@ -2,8 +2,20 @@
 //
 // Ring-structured P2P protocols (Chord / Viceroy / Pastry) place hosts at
 // random identifiers on a unit ring; each host owns the segment back to its
-// clockwise predecessor. With s sampled hosts whose segments total X_s, the
-// estimator s / X_s approximates |H| (segment lengths average 1/|H|).
+// clockwise predecessor. A DHT cannot sample *hosts* uniformly — the only
+// sampling primitive it has is routing a lookup to a uniformly random
+// identifier, which lands on the identifier's successor. The owning segment
+// is therefore drawn with probability proportional to its length
+// (length-biased sampling, the inspection paradox).
+//
+// Under that sampling the unbiased size estimator is the mean reciprocal
+// segment length: E[1/x] = sum_i P(seg_i) * (1/seg_i) = sum_i 1 = |H|
+// exactly, so with s lookups returning segments x_1..x_s the estimate is
+// (1/s) * sum_i 1/x_i — the harmonic form of the paper's s/x_s. Feeding
+// index-uniform segments into the same estimator is badly biased upward
+// (E[1/seg] over uniform segments diverges as the smallest spacing shrinks
+// like 1/|H|^2); the statistical test in size_estimation_test.cc pins both
+// facts down.
 //
 // The ring substrate simulates the identifier space: positions are a
 // deterministic hash of host id, and segment ownership is recomputed over
@@ -34,7 +46,9 @@ class RingSizeEstimator {
   /// distance to its alive predecessor. Rebuilds the alive ring (O(n log n)).
   double SegmentOf(HostId h) const;
 
-  /// s / X_s over a uniform sample of s alive hosts (with replacement).
+  /// Routes `s` lookups to uniform ring positions (landing on the position's
+  /// owner, i.e. length-biased host sampling — the only sampling a DHT can
+  /// perform) and returns the mean-reciprocal estimate of the alive count.
   /// Returns kInvalidArgument if no host is alive or s == 0.
   StatusOr<double> EstimateSize(uint32_t s, Rng* rng) const;
 
@@ -42,7 +56,8 @@ class RingSizeEstimator {
   /// Alive hosts sorted by ring position, with parallel segment lengths.
   struct AliveRing {
     std::vector<HostId> hosts;
-    std::vector<double> segments;  // segments[i] owned by hosts[i]
+    std::vector<double> positions;  // sorted ascending, parallel to hosts
+    std::vector<double> segments;   // segments[i] owned by hosts[i]
   };
   AliveRing BuildAliveRing() const;
 

@@ -10,13 +10,15 @@ SpanningTreeProtocol::SpanningTreeProtocol(sim::Simulator* sim,
     : ProtocolBase(sim, std::move(ctx)), options_(options) {}
 
 HostId SpanningTreeProtocol::ParentOf(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return kInvalidHost;
-  return states_[h].parent;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return kInvalidHost;
+  return st->parent;
 }
 
 int32_t SpanningTreeProtocol::DepthOf(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return -1;
-  return states_[h].depth;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return -1;
+  return st->depth;
 }
 
 SimTime SpanningTreeProtocol::SlotTime(int32_t depth,
@@ -34,8 +36,7 @@ SimTime SpanningTreeProtocol::SlotTime(int32_t depth,
 
 void SpanningTreeProtocol::Activate(HostId self, HostId parent,
                                     int32_t depth) {
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState& st = states_.Touch(self);
   st.active = true;
   st.parent = parent;
   st.depth = depth;
@@ -43,13 +44,11 @@ void SpanningTreeProtocol::Activate(HostId self, HostId parent,
 
   // Forward the query to every neighbor (including the parent: the forward
   // doubles as the child-registration announcement used by kEager).
-  auto body = std::make_shared<TreeBroadcastBody>();
-  body->hop = depth;
-  body->parent = parent;
   sim::Message out;
   out.kind = MakeKind(kBroadcast);
-  out.body = body;
-  sim_->SendToNeighbors(self, out);
+  out.StoreInline(TreeBroadcastPayload{depth, parent},
+                  sizeof(int32_t) + sizeof(HostId));
+  sim_->SendToNeighbors(self, std::move(out));
 
   SimTime delta = sim_->options().delta;
   if (options_.pacing == TreePacing::kEager) {
@@ -65,7 +64,7 @@ void SpanningTreeProtocol::Activate(HostId self, HostId parent,
 void SpanningTreeProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
   switch (local_id) {
     case kTimerChildrenKnown:
-      states_[self].children_known = true;
+      states_.Find(self)->children_known = true;
       MaybeCompleteEager(self);
       break;
     case kTimerSlot:
@@ -84,7 +83,7 @@ void SpanningTreeProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  states_.assign(sim_->num_hosts(), HostState{});
+  states_.Reset(sim_->num_hosts());
   Activate(hq, kInvalidHost, 0);
   // Root declaration: at the horizon with whatever has been folded in
   // (kEager may declare earlier through MaybeCompleteEager).
@@ -94,27 +93,27 @@ void SpanningTreeProtocol::Start(HostId hq) {
 void SpanningTreeProtocol::OnMessage(HostId self, const sim::Message& msg) {
   uint32_t local = 0;
   if (!DecodeKind(msg.kind, &local)) return;
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState* stp = states_.Find(self);
 
   if (local == kBroadcast) {
-    const auto& body = static_cast<const TreeBroadcastBody&>(*msg.body);
-    if (!st.active) {
+    const auto in = msg.LoadInline<TreeBroadcastPayload>();
+    if (stp == nullptr || !stp->active) {
       if (sim_->Now() >= Horizon()) return;
-      Activate(self, msg.src, body.hop + 1);
+      Activate(self, msg.src, in.hop + 1);
       return;
     }
-    if (body.parent == self && options_.pacing == TreePacing::kEager) {
-      st.pending_children.push_back(msg.src);  // sender registered with us
+    if (in.parent == self && options_.pacing == TreePacing::kEager) {
+      stp->pending_children.push_back(msg.src);  // sender registered with us
     }
     return;
   }
 
   if (local == kReport) {
-    const auto& body = static_cast<const ReportBody&>(*msg.body);
-    if (body.to_parent != self) return;  // overheard on the wireless medium
-    if (!st.active || st.sent_up) return;
-    st.partial.Merge(body.partial);
+    const auto in = msg.LoadInline<ReportPayload>();
+    if (in.to_parent != self) return;  // overheard on the wireless medium
+    if (stp == nullptr || !stp->active || stp->sent_up) return;
+    HostState& st = *stp;
+    st.partial.Merge(in.partial);
     if (self == hq_) result_.last_update_at = sim_->Now();
     auto it = std::find(st.pending_children.begin(), st.pending_children.end(),
                         msg.src);
@@ -125,8 +124,9 @@ void SpanningTreeProtocol::OnMessage(HostId self, const sim::Message& msg) {
 
 void SpanningTreeProtocol::OnNeighborFailure(HostId self, HostId failed) {
   if (options_.pacing != TreePacing::kEager) return;
-  if (self >= states_.size()) return;
-  HostState& st = states_[self];
+  HostState* stp = states_.Find(self);
+  if (stp == nullptr) return;
+  HostState& st = *stp;
   if (!st.active || st.sent_up) return;
   // A failed child will never report; stop waiting for it. (Its subtree is
   // simply lost — the best-effort behaviour the paper critiques.)
@@ -139,38 +139,38 @@ void SpanningTreeProtocol::OnNeighborFailure(HostId self, HostId failed) {
 }
 
 void SpanningTreeProtocol::MaybeCompleteEager(HostId self) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   if (!st.active || st.sent_up || !st.children_known) return;
   if (!st.pending_children.empty()) return;
   SendUp(self);
 }
 
 void SpanningTreeProtocol::SendUp(HostId self) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   if (!st.active || st.sent_up) return;
   st.sent_up = true;
   if (self == hq_) {
     if (options_.pacing == TreePacing::kEager) Declare(self);
     return;  // kSlotted: the root declares at the horizon
   }
-  auto body = std::make_shared<ReportBody>();
-  body->partial = st.partial;
-  body->to_parent = st.parent;
   sim::Message out;
   out.kind = MakeKind(kReport);
-  out.body = body;
+  // Wire size excludes the addressee field, as before: the report payload
+  // proper is the fixed 32-byte ScalarPartial record.
+  out.StoreInline(ReportPayload{st.partial, st.parent},
+                  ScalarPartial::kWireBytes);
   if (sim_->options().medium == sim::MediumKind::kWireless) {
     // One radio transmission; only the addressed parent folds it in.
-    sim_->SendToNeighbors(self, out);
+    sim_->SendToNeighbors(self, std::move(out));
   } else {
     if (!sim_->IsAlive(st.parent)) return;  // orphaned: subtree is lost
-    sim_->SendTo(self, st.parent, out);
+    sim_->SendTo(self, st.parent, std::move(out));
   }
 }
 
 void SpanningTreeProtocol::Declare(HostId self) {
   if (result_.declared) return;
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   result_.value = st.partial.Extract(ctx_.aggregate);
   result_.declared_at = sim_->Now();
   result_.declared = true;

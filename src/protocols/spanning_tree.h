@@ -47,6 +47,9 @@ class SpanningTreeProtocol : public ProtocolBase {
   void OnMessage(HostId self, const sim::Message& msg) override;
   void OnNeighborFailure(HostId self, HostId failed) override;
   std::string_view name() const override { return "spanning-tree"; }
+  size_t ResidentStateBytes() const override {
+    return states_.ResidentBytes();
+  }
 
   /// Tree parent of `h` (kInvalidHost for hq and never-activated hosts).
   HostId ParentOf(HostId h) const;
@@ -69,18 +72,14 @@ class SpanningTreeProtocol : public ProtocolBase {
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
 
-  struct TreeBroadcastBody : sim::MessageBody {
+  /// Inline wire payloads (no body allocation anywhere in this protocol).
+  struct TreeBroadcastPayload {
     int32_t hop = 0;               // sender's depth
     HostId parent = kInvalidHost;  // sender's chosen parent
-    size_t SizeBytes() const override {
-      return sizeof(int32_t) + sizeof(HostId);
-    }
   };
-
-  struct ReportBody : sim::MessageBody {
+  struct ReportPayload {
     ScalarPartial partial;
     HostId to_parent = kInvalidHost;  // addressee (wireless filtering)
-    size_t SizeBytes() const override { return ScalarPartial::kWireBytes; }
   };
 
   struct HostState {
@@ -102,7 +101,7 @@ class SpanningTreeProtocol : public ProtocolBase {
   void Declare(HostId self);
 
   SpanningTreeOptions options_;
-  std::vector<HostState> states_;
+  PagedStates<HostState> states_;
 };
 
 }  // namespace validity::protocols

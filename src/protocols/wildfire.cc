@@ -9,8 +9,9 @@ WildfireProtocol::WildfireProtocol(sim::Simulator* sim, QueryContext ctx,
     : ProtocolBase(sim, std::move(ctx)), options_(options) {}
 
 int32_t WildfireProtocol::ActivationLevel(HostId h) const {
-  if (h >= states_.size() || !states_[h].active) return -1;
-  return states_[h].level;
+  const HostState* st = states_.Find(h);
+  if (st == nullptr || !st->active) return -1;
+  return st->level;
 }
 
 SimTime WildfireProtocol::DeadlineFor(const HostState& st) const {
@@ -22,18 +23,42 @@ SimTime WildfireProtocol::DeadlineFor(const HostState& st) const {
   return Horizon();
 }
 
-uint32_t WildfireProtocol::NeighborSlot(HostId self, HostId nb) const {
-  const auto& nbrs = sim_->NeighborsOf(self);
-  for (uint32_t i = 0; i < nbrs.size(); ++i) {
-    if (nbrs[i] == nb) return i;
+sim::Message WildfireProtocol::MakeBroadcast(const HostState& st,
+                                             int32_t hop) {
+  sim::Message msg;
+  msg.kind = MakeKind(kBroadcast);
+  if (!options_.piggyback_broadcast) {
+    msg.StoreInline(HopPayload{hop}, sizeof(int32_t));
+    return msg;
   }
-  VALIDITY_CHECK(false, "host %u is not a neighbor of %u", nb, self);
-  return 0;
+  if (InlineAggregates()) {
+    msg.StoreInline(HopScalarPayload{hop, st.agg->scalar_value()},
+                    sizeof(int32_t) + sizeof(double));
+    return msg;
+  }
+  msg.StoreInline(HopPayload{hop}, sizeof(int32_t));
+  AggregateBody* body = agg_pool_.Acquire();
+  body->agg = *st.agg;
+  msg.body = sim::BodyRef(body);
+  return msg;
+}
+
+sim::Message WildfireProtocol::MakeConvergecast(const HostState& st) {
+  sim::Message msg;
+  msg.kind = MakeKind(kConvergecast);
+  if (InlineAggregates()) {
+    msg.StoreInline(ScalarAggregatePayload{st.agg->scalar_value()},
+                    sizeof(double));
+    return msg;
+  }
+  AggregateBody* body = agg_pool_.Acquire();
+  body->agg = *st.agg;
+  msg.body = sim::BodyRef(body);
+  return msg;
 }
 
 void WildfireProtocol::Activate(HostId self, int32_t level) {
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
+  HostState& st = states_.Touch(self);
   st.active = true;
   st.level = level;
   st.agg = InitialAggregate(self);
@@ -45,17 +70,11 @@ void WildfireProtocol::Start(HostId hq) {
   VALIDITY_CHECK(sim_->IsAlive(hq), "querying host must be alive");
   hq_ = hq;
   start_time_ = sim_->Now();
-  states_.assign(sim_->num_hosts(), HostState{});
+  states_.Reset(sim_->num_hosts());
   Activate(hq, 0);
-  HostState& st = states_[hq];
+  HostState& st = *states_.Find(hq);
 
-  auto body = std::make_shared<WildfireBody>();
-  body->hop = 0;
-  if (options_.piggyback_broadcast) body->agg = *st.agg;
-  sim::Message bcast;
-  bcast.kind = MakeKind(kBroadcast);
-  bcast.body = body;
-  sim_->SendToNeighbors(hq, bcast);
+  sim_->SendToNeighbors(hq, MakeBroadcast(st, 0));
   if (options_.piggyback_broadcast) {
     for (uint32_t slot = 0; slot < st.known_version.size(); ++slot) {
       MarkKnown(&st, slot);
@@ -69,14 +88,14 @@ void WildfireProtocol::Start(HostId hq) {
 
 void WildfireProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
   if (local_id == kTimerDeclare) {
-    const HostState& st = states_[self];
+    const HostState& st = *states_.Find(self);
     result_.value = st.agg->Estimate();
     result_.declared_at = sim_->Now();
     result_.declared = true;
     return;
   }
   if (local_id == kTimerFlood) {
-    HostState& st = states_[self];
+    HostState& st = *states_.Find(self);
     st.flood_pending = false;
     if (sim_->Now() > DeadlineFor(st)) return;
     FloodAggregate(self, &st, kInvalidHost);
@@ -85,10 +104,7 @@ void WildfireProtocol::OnLocalTimer(HostId self, uint32_t local_id) {
 
 void WildfireProtocol::FloodAggregate(HostId self, HostState* st,
                                       HostId exclude) {
-  auto body = std::make_shared<AggregateBody>(*st->agg);
-  sim::Message msg;
-  msg.kind = MakeKind(kConvergecast);
-  msg.body = body;
+  sim::Message msg = MakeConvergecast(*st);
   if (sim_->options().medium == sim::MediumKind::kWireless) {
     // A radio transmission reaches every neighbor; send it if anyone is
     // behind, and afterwards everyone alive has heard the current value.
@@ -96,56 +112,52 @@ void WildfireProtocol::FloodAggregate(HostId self, HostState* st,
     const auto& nbrs = sim_->NeighborsOf(self);
     for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
       if (!sim_->IsAlive(nbrs[slot])) continue;
-      if (!options_.skip_known_neighbors ||
-          st->known_version[slot] < st->version) {
+      if (!options_.skip_known_neighbors || !KnowsCurrent(*st, slot)) {
         anyone_behind = true;
         break;
       }
     }
     if (!anyone_behind) return;
-    sim_->SendToNeighbors(self, msg);
+    sim_->SendToNeighbors(self, std::move(msg));
     for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
       if (sim_->IsAlive(nbrs[slot])) MarkKnown(st, slot);
     }
     return;
   }
+  // Collect the targets first, then fan out through one shared payload
+  // slot (SendToEach) instead of one slot + message copy per neighbor.
   const auto& nbrs = sim_->NeighborsOf(self);
+  flood_targets_.clear();
   for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
     HostId nb = nbrs[slot];
     if (nb == exclude || !sim_->IsAlive(nb)) continue;
-    if (options_.skip_known_neighbors &&
-        st->known_version[slot] >= st->version) {
-      continue;
-    }
-    sim_->SendTo(self, nb, msg);
+    if (options_.skip_known_neighbors && KnowsCurrent(*st, slot)) continue;
+    flood_targets_.push_back(nb);
     MarkKnown(st, slot);
   }
+  sim_->SendToEach(self, std::move(msg), flood_targets_.data(),
+                   static_cast<uint32_t>(flood_targets_.size()));
 }
 
 void WildfireProtocol::ReplyAggregate(HostId self, HostState* st, HostId to) {
   if (!sim_->IsAlive(to)) return;
-  uint32_t slot = NeighborSlot(self, to);
-  if (options_.skip_known_neighbors && st->known_version[slot] >= st->version) {
-    return;
-  }
-  auto body = std::make_shared<AggregateBody>(*st->agg);
-  sim::Message msg;
-  msg.kind = MakeKind(kConvergecast);
-  msg.body = body;
+  uint32_t slot = sim_->NeighborSlotOf(self, to);
+  if (options_.skip_known_neighbors && KnowsCurrent(*st, slot)) return;
+  sim::Message msg = MakeConvergecast(*st);
   if (sim_->options().medium == sim::MediumKind::kWireless) {
-    sim_->SendToNeighbors(self, msg);
+    sim_->SendToNeighbors(self, std::move(msg));
     const auto& nbrs = sim_->NeighborsOf(self);
     for (uint32_t s = 0; s < nbrs.size(); ++s) {
       if (sim_->IsAlive(nbrs[s])) MarkKnown(st, s);
     }
     return;
   }
-  sim_->SendTo(self, to, msg);
+  sim_->SendTo(self, to, std::move(msg));
   MarkKnown(st, slot);
 }
 
 void WildfireProtocol::ScheduleFlood(HostId self) {
-  HostState& st = states_[self];
+  HostState& st = *states_.Find(self);
   if (!options_.coalesce_floods) {
     FloodAggregate(self, &st, kInvalidHost);
     return;
@@ -160,21 +172,26 @@ void WildfireProtocol::ScheduleFlood(HostId self) {
 
 void WildfireProtocol::HandleAggregate(HostId self, HostId from,
                                        const PartialAggregate& in) {
-  HostState& st = states_[self];
-  uint32_t from_slot = NeighborSlot(self, from);
-  bool changed = st.agg->CombineFrom(in);
-  if (changed) {
+  HostState& st = *states_.Find(self);
+  // Fused combine + "does the sender already hold the merged value" test:
+  // one pass over the sketch words instead of two. The reverse slot lookup
+  // is deferred to the branches that record per-neighbor knowledge — the
+  // common growth-phase outcome (changed, not equal) never needs it.
+  PartialAggregate::CombineOutcome outcome = st.agg->CombineCompare(in);
+  if (outcome.changed) {
     ++st.version;
     if (self == hq_) result_.last_update_at = sim_->Now();
     // If the combined value equals the incoming one, the sender already
     // holds it (Example 5.1: y skips sending its new A_y back to w).
-    if (st.agg->SameAs(in)) MarkKnown(&st, from_slot);
+    if (outcome.same_as_other) {
+      MarkKnown(&st, sim_->NeighborSlotOf(self, from));
+    }
     ScheduleFlood(self);
     return;
   }
-  if (st.agg->SameAs(in)) {
+  if (outcome.same_as_other) {
     // Neighbor holds exactly our value: remember, no traffic.
-    MarkKnown(&st, from_slot);
+    MarkKnown(&st, sim_->NeighborSlotOf(self, from));
     return;
   }
   // Our value strictly dominates the sender's: point it at ours
@@ -185,26 +202,39 @@ void WildfireProtocol::HandleAggregate(HostId self, HostId from,
 void WildfireProtocol::OnMessage(HostId self, const sim::Message& msg) {
   uint32_t local = 0;
   if (!DecodeKind(msg.kind, &local)) return;
-  if (self >= states_.size()) states_.resize(self + 1);
-  HostState& st = states_[self];
   SimTime now = sim_->Now();
 
   if (local == kBroadcast) {
-    const auto& body = static_cast<const WildfireBody&>(*msg.body);
-    if (!st.active) {
-      if (now >= Horizon()) return;  // Fig. 3: activate only while t < 2*Dh*d
-      Activate(self, body.hop + 1);
-      HostState& fresh = states_[self];
-      if (body.agg && fresh.agg->CombineFrom(*body.agg)) ++fresh.version;
+    // Decode the hop and the (optional) piggybacked aggregate: scalar
+    // kinds ride inline, sketch/union kinds in the pooled body. Each
+    // branch loads exactly the payload type its sender stored.
+    const PartialAggregate* in_agg = nullptr;
+    PartialAggregate scalar_in;
+    int32_t hop;
+    if (options_.piggyback_broadcast && InlineAggregates()) {
+      const auto in = msg.LoadInline<HopScalarPayload>();
+      hop = in.hop;
+      scalar_in = PartialAggregate::FromScalar(ctx_.combiner, in.scalar);
+      in_agg = &scalar_in;
+    } else {
+      hop = msg.LoadInline<HopPayload>().hop;
+      if (options_.piggyback_broadcast) {
+        in_agg = &static_cast<const AggregateBody&>(*msg.body).agg;
+      }
+    }
 
-      auto fwd = std::make_shared<WildfireBody>();
-      fwd->hop = fresh.level;
-      if (options_.piggyback_broadcast) fwd->agg = *fresh.agg;
-      sim::Message out;
-      out.kind = MakeKind(kBroadcast);
-      out.body = fwd;
+    HostState* stp = states_.Find(self);
+    if (stp == nullptr || !stp->active) {
+      if (now >= Horizon()) return;  // Fig. 3: activate only while t < 2*Dh*d
+      Activate(self, hop + 1);
+      HostState& fresh = *states_.Find(self);
+      if (in_agg != nullptr && fresh.agg->CombineFrom(*in_agg)) {
+        ++fresh.version;
+      }
+
+      sim::Message out = MakeBroadcast(fresh, fresh.level);
       if (sim_->options().medium == sim::MediumKind::kWireless) {
-        sim_->SendToNeighbors(self, out);
+        sim_->SendToNeighbors(self, std::move(out));
         if (options_.piggyback_broadcast) {
           const auto& nbrs = sim_->NeighborsOf(self);
           for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
@@ -213,16 +243,19 @@ void WildfireProtocol::OnMessage(HostId self, const sim::Message& msg) {
         }
       } else {
         const auto& nbrs = sim_->NeighborsOf(self);
+        flood_targets_.clear();
         for (uint32_t slot = 0; slot < nbrs.size(); ++slot) {
           HostId nb = nbrs[slot];
           if (nb == msg.src || !sim_->IsAlive(nb)) continue;
-          sim_->SendTo(self, nb, out);
+          flood_targets_.push_back(nb);
           if (options_.piggyback_broadcast) MarkKnown(&fresh, slot);
         }
+        sim_->SendToEach(self, std::move(out), flood_targets_.data(),
+                         static_cast<uint32_t>(flood_targets_.size()));
       }
-      if (options_.piggyback_broadcast && body.agg) {
-        if (fresh.agg->SameAs(*body.agg)) {
-          MarkKnown(&fresh, NeighborSlot(self, msg.src));
+      if (in_agg != nullptr) {
+        if (fresh.agg->SameAs(*in_agg)) {
+          MarkKnown(&fresh, sim_->NeighborSlotOf(self, msg.src));
         } else {
           ReplyAggregate(self, &fresh, msg.src);
         }
@@ -236,18 +269,27 @@ void WildfireProtocol::OnMessage(HostId self, const sim::Message& msg) {
     }
     // Duplicate broadcast at an active host: the flood itself is dropped,
     // but a piggybacked aggregate is still fresh information.
-    if (body.agg) {
-      if (now > DeadlineFor(st)) return;
-      HandleAggregate(self, msg.src, *body.agg);
+    if (in_agg != nullptr) {
+      if (now > DeadlineFor(*stp)) return;
+      HandleAggregate(self, msg.src, *in_agg);
     }
     return;
   }
 
   if (local == kConvergecast) {
-    if (!st.active) return;  // inactive hosts do not participate (Fig. 4)
-    if (now > DeadlineFor(st)) return;
-    const auto& body = static_cast<const AggregateBody&>(*msg.body);
-    HandleAggregate(self, msg.src, body.agg);
+    const HostState* stp = states_.Find(self);
+    if (stp == nullptr || !stp->active) {
+      return;  // inactive hosts do not participate (Fig. 4)
+    }
+    if (now > DeadlineFor(*stp)) return;
+    if (InlineAggregates()) {
+      PartialAggregate in = PartialAggregate::FromScalar(
+          ctx_.combiner, msg.LoadInline<ScalarAggregatePayload>().scalar);
+      HandleAggregate(self, msg.src, in);
+    } else {
+      HandleAggregate(self, msg.src,
+                      static_cast<const AggregateBody&>(*msg.body).agg);
+    }
   }
 }
 

@@ -16,11 +16,16 @@
 //    (2*D-hat - l + 1) * delta instead of 2*D-hat*delta.
 // A third, implied by Example 5.1's message trace, suppresses sends to
 // neighbors already known to hold the current value (skip_known_neighbors).
+//
+// Send-path engineering: hop counters and scalar (kMin/kMax) aggregates
+// travel inline in the message word; FM/union aggregates ride in bodies
+// recycled through a typed pool — steady-state sends touch no allocator.
+// Per-host state is paged lazily (PagedStates), so a query whose broadcast
+// disc covers a fraction of a huge graph only materializes that fraction.
 
 #ifndef VALIDITY_PROTOCOLS_WILDFIRE_H_
 #define VALIDITY_PROTOCOLS_WILDFIRE_H_
 
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -46,24 +51,26 @@ class WildfireProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   std::string_view name() const override { return "wildfire"; }
+  size_t ResidentStateBytes() const override {
+    return states_.ResidentBytes();
+  }
 
   /// Hop distance at which `h` was activated (broadcast level); -1 if the
   /// host never activated. Exposed for tests and the Fig. 13(b) analysis.
   int32_t ActivationLevel(HostId h) const;
+
+  /// Distinct convergecast bodies ever allocated by the pool (its
+  /// high-water mark; constant in steady state). Zero for scalar
+  /// combiners, which travel inline.
+  size_t aggregate_bodies_allocated() const {
+    return agg_pool_.total_allocated();
+  }
 
  private:
   enum LocalKind : uint32_t { kBroadcast = 1, kConvergecast = 2 };
   enum LocalTimer : uint32_t { kTimerDeclare = 1, kTimerFlood = 2 };
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
-
-  struct WildfireBody : sim::MessageBody {
-    int32_t hop = 0;  // sender's level (broadcast only)
-    std::optional<PartialAggregate> agg;
-    size_t SizeBytes() const override {
-      return sizeof(int32_t) + (agg ? agg->SizeBytes() : 0);
-    }
-  };
 
   struct HostState {
     bool active = false;
@@ -79,6 +86,19 @@ class WildfireProtocol : public ProtocolBase {
   /// Last instant at which `self` still participates.
   SimTime DeadlineFor(const HostState& st) const;
 
+  /// True when the combiner is a scalar (kMin/kMax) whose aggregate is
+  /// carried inline rather than in a pooled body.
+  bool InlineAggregates() const {
+    return ctx_.combiner == CombinerKind::kMin ||
+           ctx_.combiner == CombinerKind::kMax;
+  }
+
+  /// Builds a kBroadcast forward carrying `hop` (and, when piggybacking,
+  /// the sender's current aggregate).
+  sim::Message MakeBroadcast(const HostState& st, int32_t hop);
+  /// Builds a kConvergecast message carrying the sender's aggregate.
+  sim::Message MakeConvergecast(const HostState& st);
+
   void Activate(HostId self, int32_t level);
   /// Flood now, or once at the end of the current instant when coalescing.
   void ScheduleFlood(HostId self);
@@ -88,13 +108,26 @@ class WildfireProtocol : public ProtocolBase {
   /// Points a single neighbor at the current value if it is behind.
   void ReplyAggregate(HostId self, HostState* st, HostId to);
   void HandleAggregate(HostId self, HostId from, const PartialAggregate& in);
-  uint32_t NeighborSlot(HostId self, HostId nb) const;
+  /// Per-neighbor knowledge bookkeeping. known_version is sized at
+  /// activation, but runtime joins can grow a host's neighbor list
+  /// afterwards — new slots read as version 0 (never known) and the vector
+  /// grows on first write.
   void MarkKnown(HostState* st, uint32_t slot) {
+    if (slot >= st->known_version.size()) {
+      st->known_version.resize(slot + 1, 0);
+    }
     st->known_version[slot] = st->version;
+  }
+  static bool KnowsCurrent(const HostState& st, uint32_t slot) {
+    return slot < st.known_version.size() &&
+           st.known_version[slot] >= st.version;
   }
 
   WildfireOptions options_;
-  std::vector<HostState> states_;
+  PagedStates<HostState> states_;
+  sim::BodyPool<AggregateBody> agg_pool_;
+  /// Scratch target list for SendToEach fan-outs (capacity reused).
+  std::vector<HostId> flood_targets_;
 };
 
 }  // namespace validity::protocols

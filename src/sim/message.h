@@ -1,19 +1,40 @@
 // Messages exchanged between hosts.
 //
 // The simulator is protocol-agnostic: a Message carries a protocol-defined
-// integer kind plus an immutable, reference-counted body. Bodies are shared
-// (never mutated after send), so fanning a message out to many neighbors
-// costs one allocation total.
+// integer kind plus a payload. Payloads come in two flavours, both
+// allocation-free on the steady-state send path:
+//
+//  - Inline: small trivially-copyable structs (hop counters, scalar
+//    aggregates, push-sum mass) are stored directly in the message's
+//    40-byte inline area. No body object exists at all.
+//  - Pooled: larger payloads (FM sketches, id-union sets) are immutable,
+//    reference-counted MessageBody objects acquired from a typed BodyPool.
+//    Bodies are shared (never mutated after send), so fanning a message out
+//    to many neighbors costs one pool acquire total, and a recycled body
+//    keeps its internal buffers — steady-state sends touch no allocator
+//    for flat payloads (sketch words, scalar fields). Node-based payloads
+//    (the test-only id-union maps) still pay their per-element copy.
+//
+// Reference counts are plain (non-atomic) integers: one simulator and all
+// its protocol instances run on a single thread (the parallel sweep driver
+// gives every concurrent QueryEngine::Run its own simulator).
 
 #ifndef VALIDITY_SIM_MESSAGE_H_
 #define VALIDITY_SIM_MESSAGE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace validity::sim {
+
+class BodyPoolCore;
 
 /// Immutable protocol payload. Implementations report their wire size so the
 /// metrics layer can account byte traffic (paper §6.3 notes all protocols
@@ -24,7 +45,164 @@ class MessageBody {
 
   /// Serialized size in bytes (approximate wire footprint).
   virtual size_t SizeBytes() const = 0;
+
+ private:
+  friend class BodyRef;
+  friend class BodyPoolCore;
+  template <typename T>
+  friend class BodyPool;
+
+  mutable uint32_t refs_ = 0;
+  /// Owning pool core, or nullptr for plain heap bodies (deleted on last
+  /// release instead of recycled).
+  BodyPoolCore* pool_ = nullptr;
 };
+
+/// Type-erased recycling target shared by a BodyPool handle and the bodies
+/// it has handed out. The core outlives the pool handle while messages are
+/// still in flight (e.g. a protocol destroyed before its simulator drains),
+/// and self-destructs when the last outstanding body is released.
+class BodyPoolCore {
+ protected:
+  BodyPoolCore() = default;
+  virtual ~BodyPoolCore() = default;
+
+ private:
+  friend class BodyRef;
+  template <typename T>
+  friend class BodyPool;
+
+  virtual void Recycle(MessageBody* body) = 0;
+
+  void OnLastRelease(MessageBody* body) {
+    Recycle(body);
+    VALIDITY_DCHECK(outstanding_ > 0);
+    --outstanding_;
+    if (orphaned_ && outstanding_ == 0) delete this;
+  }
+
+  uint32_t outstanding_ = 0;  // acquired bodies not yet recycled
+  bool orphaned_ = false;     // owning BodyPool handle destroyed
+};
+
+/// Intrusive reference-counted handle to an immutable message body. Cheaper
+/// than shared_ptr on the hot path: no control block, no atomics.
+class BodyRef {
+ public:
+  BodyRef() = default;
+  /// Adopts `body` (one more reference). The body may come from
+  /// BodyPool::Acquire or plain `new` (see MakeHeapBody).
+  explicit BodyRef(MessageBody* body) : body_(body) {
+    if (body_ != nullptr) ++body_->refs_;
+  }
+  BodyRef(const BodyRef& other) : body_(other.body_) {
+    if (body_ != nullptr) ++body_->refs_;
+  }
+  BodyRef(BodyRef&& other) noexcept : body_(other.body_) {
+    other.body_ = nullptr;
+  }
+  BodyRef& operator=(BodyRef other) noexcept {
+    std::swap(body_, other.body_);
+    return *this;
+  }
+  ~BodyRef() { Release(); }
+
+  void reset() {
+    Release();
+    body_ = nullptr;
+  }
+
+  const MessageBody* get() const { return body_; }
+  const MessageBody& operator*() const { return *body_; }
+  const MessageBody* operator->() const { return body_; }
+  explicit operator bool() const { return body_ != nullptr; }
+
+ private:
+  void Release() {
+    if (body_ == nullptr || --body_->refs_ != 0) return;
+    if (body_->pool_ != nullptr) {
+      body_->pool_->OnLastRelease(body_);
+    } else {
+      delete body_;
+    }
+  }
+
+  MessageBody* body_ = nullptr;
+};
+
+/// Typed free-list pool of message bodies. Acquire() reuses a recycled body
+/// when one is available (steady state: always), so its internal buffers —
+/// sketch words, parent vectors — keep their capacity and the send path
+/// performs no allocation. Usage:
+///
+///   AggregateBody* body = pool_.Acquire();
+///   body->agg = *st->agg;           // overwrite ALL fields: bodies recycle
+///   msg.body = sim::BodyRef(body);  // hand ownership to the ref
+///
+/// Every Acquire() must be wrapped in a BodyRef before the next pool call;
+/// the body returns to the free list when the last ref drops. Not
+/// thread-safe (one pool per protocol instance per simulator thread).
+template <typename T>
+class BodyPool {
+ public:
+  static_assert(std::is_base_of_v<MessageBody, T>,
+                "pooled types must derive from sim::MessageBody");
+
+  BodyPool() : core_(new Core) {}
+  ~BodyPool() {
+    core_->orphaned_ = true;
+    if (core_->outstanding_ == 0) delete core_;
+  }
+  BodyPool(const BodyPool&) = delete;
+  BodyPool& operator=(const BodyPool&) = delete;
+
+  /// Returns a recycled or fresh T. Contents are whatever the previous use
+  /// left behind — callers must set every field before sending.
+  T* Acquire() {
+    T* body;
+    if (!core_->free_.empty()) {
+      body = core_->free_.back();
+      core_->free_.pop_back();
+    } else {
+      body = new T();
+      body->pool_ = core_;
+      core_->all_.emplace_back(body);
+      // Keep the free list able to absorb every body without reallocating:
+      // the drain phase at the end of a query returns all in-flight bodies
+      // at once, and that must not count as a steady-state allocation.
+      if (core_->free_.capacity() < core_->all_.size()) {
+        core_->free_.reserve(core_->all_.capacity());
+      }
+    }
+    ++core_->outstanding_;
+    return body;
+  }
+
+  /// Distinct bodies ever allocated — the pool's high-water mark. In steady
+  /// state this stops growing (the zero-allocation-per-send property).
+  size_t total_allocated() const { return core_->all_.size(); }
+
+ private:
+  struct Core final : BodyPoolCore {
+    void Recycle(MessageBody* body) override {
+      free_.push_back(static_cast<T*>(body));
+    }
+    std::vector<std::unique_ptr<T>> all_;
+    std::vector<T*> free_;
+  };
+
+  Core* core_;
+};
+
+/// One-off heap body (tests, cold paths): deleted when the last ref drops.
+template <typename T, typename... Args>
+BodyRef MakeHeapBody(Args&&... args) {
+  return BodyRef(new T(std::forward<Args>(args)...));
+}
+
+/// Capacity of the inline payload area. Sized for the largest inline user
+/// (SPANNINGTREE's ScalarPartial report: 3 doubles + count + addressee).
+inline constexpr size_t kInlinePayloadBytes = 40;
 
 /// One point-to-point or broadcast-medium message.
 struct Message {
@@ -33,13 +211,40 @@ struct Message {
   /// Filled in by the network on send/delivery.
   HostId src = kInvalidHost;
   HostId dst = kInvalidHost;
-  /// Optional payload; may be null for signal-only messages.
-  std::shared_ptr<const MessageBody> body;
+  /// Logical wire size of the inline payload (set by StoreInline); kept
+  /// separate from sizeof(T) so byte accounting matches the protocol's wire
+  /// format, not C++ struct padding.
+  uint32_t inline_bytes = 0;
+  /// Inline payload area for small trivially-copyable payload structs.
+  alignas(8) unsigned char inline_data[kInlinePayloadBytes] = {};
+  /// Optional pooled/heap payload; null for inline-only or signal messages.
+  BodyRef body;
 
-  /// Total approximate size: fixed header + payload.
+  /// Stores `payload` inline; `wire_bytes` is the logical serialized size
+  /// charged to the metrics layer.
+  template <typename T>
+  void StoreInline(const T& payload, uint32_t wire_bytes) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "inline payloads must be trivially copyable");
+    static_assert(sizeof(T) <= kInlinePayloadBytes,
+                  "payload exceeds the inline area; use a BodyPool");
+    std::memcpy(inline_data, &payload, sizeof(T));
+    inline_bytes = wire_bytes;
+  }
+
+  template <typename T>
+  T LoadInline() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= kInlinePayloadBytes);
+    T out;
+    std::memcpy(&out, inline_data, sizeof(T));
+    return out;
+  }
+
+  /// Total approximate size: fixed header + inline payload + body payload.
   size_t SizeBytes() const {
     // kind + src + dst + flags, as a nominal 16-byte header.
-    return 16 + (body ? body->SizeBytes() : 0);
+    return 16 + inline_bytes + (body ? body->SizeBytes() : 0);
   }
 };
 

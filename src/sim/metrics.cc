@@ -13,7 +13,14 @@ void Metrics::RecordSend(SimTime t, size_t bytes) {
   last_send_time_ = std::max(last_send_time_, t);
   VALIDITY_DCHECK(t >= 0);
   size_t tick = static_cast<size_t>(std::floor(t));
-  if (sends_per_tick_.size() <= tick) sends_per_tick_.resize(tick + 1, 0);
+  if (sends_per_tick_.size() <= tick) {
+    // Generous geometric headroom: the per-tick series must not reallocate
+    // once a run is warmed up (the send path is allocation-free).
+    if (sends_per_tick_.capacity() <= tick) {
+      sends_per_tick_.reserve(std::max<size_t>(128, 2 * (tick + 1)));
+    }
+    sends_per_tick_.resize(tick + 1, 0);
+  }
   ++sends_per_tick_[tick];
 }
 

@@ -124,6 +124,43 @@ void Simulator::ReleaseMessageSlot(uint32_t index) {
   free_head_ = index;
 }
 
+uint32_t Simulator::NeighborSlotOf(HostId h, HostId nb) const {
+  VALIDITY_DCHECK(h + 1 < nbr_offset_.size());
+  uint32_t begin = nbr_offset_[h];
+  uint32_t count = nbr_offset_[h + 1] - begin;
+  if (count > 0) {
+    SlotIndexEntry& entry = slot_index_.Touch(h);
+    const HostId* nbrs = nbr_flat_.data() + begin;
+    if (entry.order == nullptr) {
+      entry.order.reset(new uint32_t[count]);
+      for (uint32_t i = 0; i < count; ++i) entry.order[i] = i;
+      std::sort(entry.order.get(), entry.order.get() + count,
+                [nbrs](uint32_t a, uint32_t b) { return nbrs[a] < nbrs[b]; });
+    }
+    const uint32_t* order = entry.order.get();
+    uint32_t lo = 0;
+    uint32_t hi = count;
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (nbrs[order[mid]] < nb) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < count && nbrs[order[lo]] == nb) return order[lo];
+  }
+  // Overflow edges appended by runtime joins: a short linear scan.
+  if (h < nbr_extra_.size()) {
+    const auto& extra = nbr_extra_[h];
+    for (uint32_t i = 0; i < extra.size(); ++i) {
+      if (extra[i] == nb) return count + i;
+    }
+  }
+  VALIDITY_CHECK(false, "host %u is not a neighbor of %u", nb, h);
+  return 0;
+}
+
 void Simulator::FailHost(HostId h) {
   VALIDITY_DCHECK(h < alive_.size());
   if (!IsAlive(h)) return;
@@ -224,6 +261,24 @@ void Simulator::SendToNeighbors(HostId from, Message msg) {
     Trace(TraceEventKind::kSend, from, nb, kind);
     metrics_.RecordSend(Now(), bytes);
     queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
+  }
+}
+
+void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
+                           uint32_t count) {
+  VALIDITY_DCHECK(from < num_hosts());
+  if (!IsAlive(from) || count == 0) return;
+  msg.src = from;
+  SimTime arrive = Now() + options_.delta;
+  size_t bytes = msg.SizeBytes();
+  uint32_t kind = msg.kind;
+  uint32_t slot = AcquireMessageSlot(std::move(msg), count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HostId to = targets[i];
+    VALIDITY_DCHECK(to < num_hosts() && IsAlive(to));
+    Trace(TraceEventKind::kSend, from, to, kind);
+    metrics_.RecordSend(Now(), bytes);
+    queue_.ScheduleTyped(arrive, EventTag::kDeliver, to, from, slot, 0);
   }
 }
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/paged_state.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -181,6 +182,13 @@ class Simulator {
     }
   }
 
+  /// Slot of `nb` in NeighborsOf(h) — the reverse lookup convergecast
+  /// protocols run once per received message. O(log degree) against a
+  /// lazily-built per-host sorted index over the CSR segment (built once per
+  /// host on first use; O(degree) overflow edges from runtime joins are
+  /// scanned linearly). CHECK-fails if `nb` is not a neighbor of `h`.
+  uint32_t NeighborSlotOf(HostId h, HostId nb) const;
+
   /// Fails `h` immediately (no-op if already dead). Triggers failure
   /// detection callbacks when enabled.
   void FailHost(HostId h);
@@ -219,6 +227,14 @@ class Simulator {
   /// every alive neighbor receives it. Either way the payload is stored
   /// once; per-neighbor cost is one typed event.
   void SendToNeighbors(HostId from, Message msg);
+
+  /// Point-to-point fan-out to an explicit target list (each must be an
+  /// alive neighbor of `from`): one charged message per target, one shared
+  /// payload slot — the selective-flood analogue of SendToNeighbors.
+  /// Equivalent to SendTo(from, t, msg) for each t, minus the per-target
+  /// slot and payload copies.
+  void SendToEach(HostId from, Message msg, const HostId* targets,
+                  uint32_t count);
 
   /// Sends directly to an arbitrary host, bypassing overlay edges. Models a
   /// P2P underlay connection (the reporting host knows hq's IP address from
@@ -281,6 +297,15 @@ class Simulator {
   std::vector<uint32_t> nbr_offset_;
   std::vector<HostId> nbr_flat_;
   std::vector<std::vector<HostId>> nbr_extra_;
+  /// NeighborSlotOf index: per-host permutation of the host's CSR segment,
+  /// sorted by neighbor id. Built lazily per host and stored behind the
+  /// same paged directory the protocols use for their state, so on a
+  /// million-host graph a query touching a small disc only materializes
+  /// index storage for that disc.
+  struct SlotIndexEntry {
+    std::unique_ptr<uint32_t[]> order;  // null until built; degree entries
+  };
+  mutable PagedStates<SlotIndexEntry> slot_index_;
   std::vector<uint8_t> alive_;
   std::vector<SimTime> failure_time_;
   std::vector<SimTime> join_time_;

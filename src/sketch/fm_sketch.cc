@@ -62,13 +62,38 @@ bool FmSketch::MergeOr(const FmSketch& other) {
   VALIDITY_CHECK(words_.size() == other.words_.size(),
                  "merging sketches of different shapes (%zu vs %zu vectors)",
                  words_.size(), other.words_.size());
-  bool changed = false;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    uint64_t merged = words_[i] | other.words_[i];
-    changed |= merged != words_[i];
-    words_[i] = merged;
+  // Restrict-qualified pointer loop: the hottest operation in a WILDFIRE
+  // run, written so the compiler vectorizes the word sweep.
+  uint64_t* __restrict mine = words_.data();
+  const uint64_t* __restrict theirs = other.words_.data();
+  const size_t n = words_.size();
+  uint64_t gained = 0;
+  for (size_t i = 0; i < n; ++i) {
+    gained |= theirs[i] & ~mine[i];
+    mine[i] |= theirs[i];
   }
-  return changed;
+  return gained != 0;
+}
+
+FmSketch::MergeOutcome FmSketch::MergeOrCompare(const FmSketch& other) {
+  VALIDITY_CHECK(words_.size() == other.words_.size(),
+                 "merging sketches of different shapes (%zu vs %zu vectors)",
+                 words_.size(), other.words_.size());
+  // changed: other adds at least one bit; same_as_other: other covers every
+  // bit already here, i.e. the merged value equals other's. One pass.
+  uint64_t* __restrict mine = words_.data();
+  const uint64_t* __restrict theirs = other.words_.data();
+  const size_t n = words_.size();
+  uint64_t gained = 0;  // bits other adds to this
+  uint64_t excess = 0;  // bits this holds beyond other
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t m = mine[i];
+    uint64_t t = theirs[i];
+    gained |= t & ~m;
+    excess |= m & ~t;
+    mine[i] = m | t;
+  }
+  return MergeOutcome{gained != 0, excess == 0};
 }
 
 int FmSketch::LowestZeroBit(uint32_t i) const {

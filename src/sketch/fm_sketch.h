@@ -45,8 +45,13 @@ struct FmParams {
 
 class FmSketch {
  public:
+  /// An unset sketch with zero vectors. Allocation-free: the default state
+  /// of sketch slots (e.g. inside a scalar PartialAggregate) that are never
+  /// merged or estimated.
+  FmSketch() = default;
+
   /// An all-zero sketch with `params.num_vectors` vectors.
-  explicit FmSketch(const FmParams& params = FmParams{});
+  explicit FmSketch(const FmParams& params);
 
   /// Sketch of a single distinct element (count initialization: the host
   /// "pretends to have an element distinct from other hosts").
@@ -63,6 +68,17 @@ class FmSketch {
   /// Bitwise-OR merge; the duplicate-insensitive combine. Returns true if
   /// any bit of *this changed (WILDFIRE re-floods only on change).
   bool MergeOr(const FmSketch& other);
+
+  /// Outcome of a fused merge+compare pass.
+  struct MergeOutcome {
+    bool changed = false;        // *this gained at least one bit
+    bool same_as_other = false;  // after the merge, *this == other
+  };
+
+  /// MergeOr plus the "does the sender already hold the merged value" test
+  /// WILDFIRE runs after every combine, in one word-wise pass instead of
+  /// two (merged == other iff other covers *this).
+  MergeOutcome MergeOrCompare(const FmSketch& other);
 
   /// Lowest zero-bit index of vector i (the FM "z" statistic).
   int LowestZeroBit(uint32_t i) const;

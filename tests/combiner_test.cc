@@ -98,6 +98,52 @@ TEST(CombinerTest, SameAsIsStructural) {
   EXPECT_TRUE(a.SameAs(b));
 }
 
+TEST(CombinerTest, CombineCompareMatchesCombineFromPlusSameAs) {
+  // The fused path WILDFIRE uses must be indistinguishable from the
+  // two-pass reference across every combiner kind and value relation.
+  sketch::FmParams params{8};
+  std::vector<CombinerKind> kinds{
+      CombinerKind::kMin,        CombinerKind::kMax,
+      CombinerKind::kFmCount,    CombinerKind::kFmSum,
+      CombinerKind::kFmAverage,  CombinerKind::kUnionCount,
+      CombinerKind::kUnionSum,   CombinerKind::kUnionAverage};
+  for (CombinerKind kind : kinds) {
+    for (int trial = 0; trial < 60; ++trial) {
+      // Host values are a function of host id, as in a real query (the
+      // combine invariant: duplicate contributions are identical).
+      HostId ha = trial % 5;
+      HostId hb = trial % 4 == 0 ? ha : 100 + trial;
+      Rng ra(1000 + ha), rb(1000 + hb);
+      PartialAggregate a =
+          PartialAggregate::Initial(kind, ha, 10 + ha % 7, params, &ra);
+      PartialAggregate b =
+          PartialAggregate::Initial(kind, hb, 10 + hb % 7, params, &rb);
+      PartialAggregate fused = a;
+      PartialAggregate reference = a;
+      bool ref_changed = reference.CombineFrom(b);
+      auto outcome = fused.CombineCompare(b);
+      EXPECT_EQ(outcome.changed, ref_changed)
+          << CombinerKindName(kind) << " trial " << trial;
+      EXPECT_TRUE(fused.SameAs(reference))
+          << CombinerKindName(kind) << " trial " << trial;
+      EXPECT_EQ(outcome.same_as_other, reference.SameAs(b))
+          << CombinerKindName(kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(CombinerTest, FromScalarMatchesInitial) {
+  sketch::FmParams params;
+  Rng rng(3);
+  PartialAggregate from_init =
+      PartialAggregate::Initial(CombinerKind::kMax, 0, 41.5, params, &rng);
+  PartialAggregate from_scalar =
+      PartialAggregate::FromScalar(CombinerKind::kMax, 41.5);
+  EXPECT_TRUE(from_scalar.SameAs(from_init));
+  EXPECT_DOUBLE_EQ(from_scalar.scalar_value(), 41.5);
+  EXPECT_DOUBLE_EQ(from_scalar.Estimate(), 41.5);
+}
+
 TEST(CombinerTest, IdentityIsNeutral) {
   for (CombinerKind kind :
        {CombinerKind::kMin, CombinerKind::kMax, CombinerKind::kFmCount,

@@ -194,6 +194,49 @@ TEST(RingEstimatorTest, TracksChurnedPopulation) {
   EXPECT_NEAR(mean / 1500.0, 1.0, 0.3);
 }
 
+TEST(RingEstimatorTest, PositionSamplingIsUnbiasedWhereIndexSamplingIsNot) {
+  // The statistical contract of the fix: lookups routed to uniform ring
+  // *positions* hit segments with probability proportional to length, and
+  // the mean-reciprocal estimator is then exactly unbiased for the alive
+  // count (E[1/x] = sum_i seg_i * 1/seg_i = n). The pre-fix sampling drew
+  // segments uniformly *by host index*; pushed through the same estimator
+  // it averages E[1/seg] over all segments, which blows up with the tiny
+  // spacings (order n^2) every random ring contains. The corrected mean
+  // must sit in a tight band around alive_count over many seeds; the
+  // index-uniform reference must land far outside it.
+  constexpr uint32_t kHosts = 2000;
+  topology::Graph g = *topology::MakeRandom(kHosts, 5.0, 90);
+  sim::Simulator sim(g, sim::SimOptions{});
+  constexpr int kSeeds = 30;
+  constexpr uint32_t kSamples = 100;
+  double corrected_mean = 0.0;
+  double index_mean = 0.0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    RingSizeEstimator ring(&sim, /*ring_seed=*/100 + seed);
+    Rng rng(seed);
+    auto est = ring.EstimateSize(kSamples, &rng);
+    ASSERT_TRUE(est.ok());
+    corrected_mean += *est;
+
+    // Reference implementation of the old sampling: hosts uniform by index,
+    // same mean-reciprocal estimator over their full segments.
+    Rng old_rng(seed);
+    double inv_sum = 0.0;
+    for (uint32_t i = 0; i < kSamples; ++i) {
+      inv_sum += 1.0 / ring.SegmentOf(
+                           static_cast<HostId>(old_rng.NextBelow(kHosts)));
+    }
+    index_mean += inv_sum / kSamples;
+  }
+  corrected_mean /= kSeeds;
+  index_mean /= kSeeds;
+  EXPECT_NEAR(corrected_mean / kHosts, 1.0, 0.12)
+      << "position-based sampling must be unbiased for the alive count";
+  EXPECT_GT(index_mean / kHosts, 2.0)
+      << "uniform-by-index sampling must fail this estimator (if this "
+         "triggers, the sampling was reverted to the pre-fix scheme)";
+}
+
 TEST(RingEstimatorTest, ErrorsOnEmptyOrZeroSample) {
   topology::Graph g = *topology::MakeChain(2);
   sim::Simulator sim(g, sim::SimOptions{});

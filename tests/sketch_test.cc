@@ -69,6 +69,36 @@ TEST(FmSketchTest, MergeOrReportsChangeExactly) {
   EXPECT_FALSE(merged.MergeOr(a));
 }
 
+TEST(FmSketchTest, MergeOrCompareMatchesTwoPassSemantics) {
+  // The fused pass must agree with MergeOr + operator== on every pair:
+  // changed == "this gained bits", same_as_other == "merged equals other".
+  FmParams params{8};
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    FmSketch a = FmSketch::ForMagnitude(params, rng.NextBelow(50), &rng);
+    FmSketch b = trial % 3 == 0 ? a  // force the equal / subset cases too
+                                : FmSketch::ForMagnitude(
+                                      params, rng.NextBelow(50), &rng);
+    FmSketch fused = a;
+    FmSketch reference = a;
+    bool ref_changed = reference.MergeOr(b);
+    auto outcome = fused.MergeOrCompare(b);
+    EXPECT_EQ(fused, reference);
+    EXPECT_EQ(outcome.changed, ref_changed);
+    EXPECT_EQ(outcome.same_as_other, reference == b);
+  }
+}
+
+TEST(FmSketchTest, DefaultConstructedSketchIsUnset) {
+  FmSketch s;
+  EXPECT_EQ(s.num_vectors(), 0u);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.SizeBytes(), 0u);
+  FmSketch shaped(FmParams{4});
+  s = shaped;  // assignable into shape
+  EXPECT_EQ(s.num_vectors(), 4u);
+}
+
 TEST(FmSketchTest, DuplicateInsensitivity) {
   // The same host's sketch merged many times must not inflate the estimate:
   // the core property WILDFIRE relies on (paper §5.2).

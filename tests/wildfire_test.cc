@@ -312,6 +312,98 @@ TEST(WildfireTest, WirelessGridCostsLessThanPointToPoint) {
   EXPECT_LT(wireless_cost, p2p_cost / 2);
 }
 
+// ---- Deadline boundary & duplicate-broadcast piggyback semantics --------
+//
+// These pin down two behaviours the message-path refactors must preserve:
+// an aggregate arriving at EXACTLY a host's early-termination deadline is
+// still processed (the participation test is strictly `now > DeadlineFor`),
+// and a duplicate broadcast at an active host contributes its piggybacked
+// aggregate even though the flood itself is dropped.
+
+TEST(WildfireTest, AggregateArrivingExactlyAtDeadlineIsProcessed) {
+  // Chain 0-1-2-3-4 with d_hat = 3.5: host 1 (level 1) participates until
+  // (2*3.5 - 1 + 1) * delta = 7. Host 4's contribution propagates one hop
+  // per tick and reaches host 1 at t = 7 — exactly the deadline. Current
+  // semantics accept it, so host 1 re-floods at t = 7 (the final send of
+  // the run); a `>=` deadline test would silence t = 7 entirely.
+  topology::Graph g(5);
+  for (HostId h = 0; h + 1 < 5; ++h) ASSERT_TRUE(g.AddEdge(h, h + 1).ok());
+  std::vector<double> values(5, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, 3.5));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+
+  ASSERT_TRUE(wf.result().declared);
+  // hq declares at the horizon (t = 7) having folded in hosts 0..3; host
+  // 4's value reaches host 1 at t = 7 but hq only at t = 8 (> horizon).
+  EXPECT_DOUBLE_EQ(wf.result().declared_at, 7.0);
+  EXPECT_DOUBLE_EQ(wf.result().value, 4.0);
+  // The exact-deadline acceptance at host 1 produces the run's last send.
+  EXPECT_DOUBLE_EQ(sim.metrics().last_send_time(), 7.0);
+}
+
+TEST(WildfireTest, AggregateArrivingAfterDeadlineIsDropped) {
+  // Same chain, d_hat = 3: host 1's deadline is (6 - 1 + 1) = 6, and host
+  // 4's contribution arrives at host 1 at t = 7 > 6 — dropped, so host 1
+  // never re-floods it and the network is silent after t = 6.
+  topology::Graph g(5);
+  for (HostId h = 0; h + 1 < 5; ++h) ASSERT_TRUE(g.AddEdge(h, h + 1).ok());
+  std::vector<double> values(5, 1.0);
+  sim::Simulator sim(g, sim::SimOptions{});
+  WildfireProtocol wf(
+      &sim, MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                        &values, 3.0));
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_DOUBLE_EQ(wf.result().declared_at, 6.0);
+  // Hosts 0..2 reach hq in time; host 3's merge at its own deadline does
+  // propagate, but host 4's contribution dies at host 3 (t = 5 > 4).
+  EXPECT_DOUBLE_EQ(wf.result().value, 3.0);
+  EXPECT_LE(sim.metrics().last_send_time(), 6.0);
+}
+
+TEST(WildfireTest, DuplicateBroadcastPiggybackFeedsActiveHosts) {
+  // Triangle 0-1, 0-2, 1-2 with piggybacking: at t = 2, hosts 1 and 2 each
+  // receive the other's broadcast as a *duplicate* (both are already
+  // active). The flood is dropped but the piggybacked aggregate is not:
+  // each host merges the other's contribution a full tick before host 0's
+  // re-flood could deliver it. Locked via hq's last-update time and the
+  // exact message budget of the 3-host run.
+  topology::Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  std::vector<double> values{5, 15, 25};
+
+  for (bool exact : {true, false}) {
+    // kUnionCount exercises the pooled-body piggyback decode; kMax the
+    // inline-scalar one.
+    sim::Simulator sim(g, sim::SimOptions{});
+    WildfireProtocol wf(
+        &sim,
+        exact ? MakeContext(AggregateKind::kCount, CombinerKind::kUnionCount,
+                            &values, 3)
+              : MakeContext(AggregateKind::kMax, CombinerKind::kMax, &values,
+                            3));
+    sim.AttachProgram(&wf);
+    wf.Start(0);
+    sim.Run();
+    ASSERT_TRUE(wf.result().declared);
+    EXPECT_DOUBLE_EQ(wf.result().value, exact ? 3.0 : 25.0);
+    // hq's answer is complete at t = 2 (both replies landed); the duplicate
+    // broadcasts' piggybacked payloads settle 1 and 2 by t = 2 as well, so
+    // no aggregate changes anywhere after t = 2.
+    EXPECT_LE(wf.result().last_update_at, 2.0);
+  }
+}
+
 TEST(WildfireTest, HonorsHorizonNoTrafficAfter2DhatDelta) {
   topology::Graph g = *topology::MakeRandom(200, 5.0, 25);
   std::vector<double> values = core::MakeZipfValues(200, 25);
