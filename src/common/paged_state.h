@@ -1,4 +1,4 @@
-// Lazily-paged per-host state.
+// Lazily-paged per-host state with epoch-based O(1) reset.
 //
 // Used by every protocol for its per-host records and by the simulator for
 // its reverse neighbor-slot index. Every protocol keeps one state record
@@ -9,10 +9,20 @@
 // graph. PagedStates allocates fixed-size pages on first touch instead: a
 // query that activates 1% of a 10M-host graph pays (roughly) for 1%.
 //
-// Records on an allocated page are value-initialized, exactly like the
-// elements of the eager vector they replace, and page storage is stable:
-// references returned by Touch()/Find() survive later Touch() calls (the
-// eager vector invalidated references on resize — a bug class this removes).
+// Reset() starts a new *epoch* rather than freeing pages: each page carries
+// the epoch that last initialized it, so after a Reset every page reads as
+// untouched (Find returns nullptr) and is re-value-initialized lazily on
+// its first Touch of the new epoch. Untouched pages are therefore free to
+// "reset", and a session running many queries over one graph recycles page
+// storage instead of bouncing it through the allocator — the property the
+// SimulatorSession inter-query reset (sim/session.h) is built on.
+//
+// Records on a live page are value-initialized, exactly like the elements
+// of the eager vector they replace, and page storage is stable: references
+// returned by Touch()/Find() survive later Touch() calls within an epoch
+// (the eager vector invalidated references on resize — a bug class this
+// removes). A reference from a previous epoch may observe its record being
+// re-initialized; callers must not hold references across Reset().
 //
 // Not thread-safe; one instance per owner per simulator thread.
 
@@ -36,52 +46,75 @@ class PagedStates {
   static constexpr uint32_t kPageShift = 8;
   static constexpr uint32_t kPageSize = 1u << kPageShift;  // records per page
 
-  /// Drops every page and re-arms the directory for `num_hosts` hosts.
-  /// O(pages previously touched), not O(num_hosts).
+  /// Re-arms the directory for `num_hosts` hosts and starts a new epoch:
+  /// every record reads as freshly value-initialized again. O(1) beyond
+  /// one-time directory growth — pages stay cached and are scrubbed lazily
+  /// on their first Touch of the new epoch, so resetting costs nothing for
+  /// pages the next query never visits.
   void Reset(uint32_t num_hosts) {
-    pages_.clear();
-    pages_.resize((static_cast<size_t>(num_hosts) + kPageSize - 1) >>
-                  kPageShift);
-    pages_touched_ = 0;
+    size_t dir = (static_cast<size_t>(num_hosts) + kPageSize - 1) >>
+                 kPageShift;
+    if (pages_.size() < dir) pages_.resize(dir);
+    ++epoch_;
+    live_pages_ = 0;
   }
 
-  /// The record for host `h`, allocating (and value-initializing) its page
-  /// on first touch. Hosts beyond the Reset() bound (runtime joins) grow the
-  /// page directory transparently.
+  /// The record for host `h`, allocating (or re-initializing) its page on
+  /// first touch of the current epoch. Hosts beyond the Reset() bound
+  /// (runtime joins) grow the page directory transparently.
   T& Touch(HostId h) {
     size_t p = h >> kPageShift;
     if (p >= pages_.size()) pages_.resize(p + 1);
-    if (pages_[p] == nullptr) {
-      pages_[p].reset(new T[kPageSize]());
-      ++pages_touched_;
+    Page& page = pages_[p];
+    if (page.epoch != epoch_) {
+      if (page.records == nullptr) {
+        page.records.reset(new T[kPageSize]());
+      } else {
+        // Cached from an earlier epoch: restore every record to its
+        // value-initialized state (runs destructors of whatever the last
+        // epoch left behind).
+        for (uint32_t i = 0; i < kPageSize; ++i) page.records[i] = T();
+      }
+      page.epoch = epoch_;
+      ++live_pages_;
     }
-    return pages_[p][h & (kPageSize - 1)];
+    return page.records[h & (kPageSize - 1)];
   }
 
-  /// The record for host `h`, or nullptr if its page was never touched
-  /// (equivalent to the eager vector's value-initialized default — callers
-  /// treat "no page" as "default state").
+  /// The record for host `h`, or nullptr if its page was never touched this
+  /// epoch (equivalent to the eager vector's value-initialized default —
+  /// callers treat "no page" as "default state").
   const T* Find(HostId h) const {
     size_t p = h >> kPageShift;
-    if (p >= pages_.size() || pages_[p] == nullptr) return nullptr;
-    return &pages_[p][h & (kPageSize - 1)];
+    if (p >= pages_.size()) return nullptr;
+    const Page& page = pages_[p];
+    if (page.epoch != epoch_) return nullptr;
+    return &page.records[h & (kPageSize - 1)];
   }
   T* Find(HostId h) {
     return const_cast<T*>(static_cast<const PagedStates*>(this)->Find(h));
   }
 
-  /// Pages currently resident.
-  uint32_t pages_touched() const { return pages_touched_; }
-  /// Bytes of record storage currently resident (the paging win: compare
-  /// against num_hosts * sizeof(T) for the eager layout).
+  /// Pages resident in the current epoch (what this query touched).
+  uint32_t pages_touched() const { return live_pages_; }
+  /// Bytes of record storage live in the current epoch (the paging win:
+  /// compare against num_hosts * sizeof(T) for the eager layout). Pages
+  /// cached from earlier epochs are warm capacity, not resident query
+  /// state, and are not counted.
   size_t ResidentBytes() const {
-    return static_cast<size_t>(pages_touched_) * kPageSize * sizeof(T) +
-           pages_.capacity() * sizeof(pages_[0]);
+    return static_cast<size_t>(live_pages_) * kPageSize * sizeof(T) +
+           pages_.capacity() * sizeof(Page);
   }
 
  private:
-  std::vector<std::unique_ptr<T[]>> pages_;
-  uint32_t pages_touched_ = 0;
+  struct Page {
+    std::unique_ptr<T[]> records;  // null until first touched ever
+    uint64_t epoch = 0;            // epoch that last initialized records
+  };
+
+  std::vector<Page> pages_;
+  uint64_t epoch_ = 1;  // page.epoch == 0 is never current
+  uint32_t live_pages_ = 0;
 };
 
 }  // namespace validity

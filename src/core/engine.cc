@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/zipf.h"
+#include "protocols/factory.h"
 #include "sim/churn.h"
 #include "topology/algorithms.h"
 
@@ -26,9 +27,8 @@ uint32_t QueryEngine::EstimatedDiameter() const {
   return cached_diameter_;
 }
 
-StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
-                                       const RunConfig& config,
-                                       HostId hq) const {
+Status QueryEngine::PlanRun(const QuerySpec& spec, const RunConfig& config,
+                            HostId hq, RunPlan* plan) const {
   if (hq >= graph_->num_hosts()) {
     return Status::OutOfRange("querying host out of range");
   }
@@ -45,70 +45,73 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
         "randomized-report answers count/sum queries only");
   }
 
-  double d_hat = spec.d_hat;
-  if (d_hat <= 0.0) {
-    d_hat = static_cast<double>(EstimatedDiameter()) + kDefaultDiameterMargin;
+  plan->d_hat = spec.d_hat;
+  if (plan->d_hat <= 0.0) {
+    plan->d_hat =
+        static_cast<double>(EstimatedDiameter()) + kDefaultDiameterMargin;
   }
 
-  sim::SimOptions sim_options = config.sim_options;
   // The tree/DAG baselines track child liveness through heartbeats.
-  if (config.protocol == protocols::ProtocolKind::kSpanningTree ||
-      config.protocol == protocols::ProtocolKind::kDag) {
-    sim_options.failure_detection = true;
-  }
-  sim::Simulator simulator(*graph_, sim_options);
+  plan->failure_detection =
+      config.sim_options.failure_detection ||
+      config.protocol == protocols::ProtocolKind::kSpanningTree ||
+      config.protocol == protocols::ProtocolKind::kDag;
 
-  SimTime horizon = 2.0 * d_hat * sim_options.delta;
-  if (config.churn_removals > 0) {
-    Rng churn_rng(config.churn_seed);
-    auto events = sim::MakeUniformChurn(
-        graph_->num_hosts(), hq, config.churn_removals,
-        config.churn_start_frac * horizon, config.churn_end_frac * horizon,
-        &churn_rng);
-    sim::ScheduleChurn(&simulator, events);
-  }
-
-  protocols::QueryContext ctx;
-  ctx.aggregate = spec.aggregate;
-  ctx.combiner =
+  plan->ctx.aggregate = spec.aggregate;
+  plan->ctx.combiner =
       protocols::CombinerFor(spec.aggregate, spec.exact_combiners);
-  ctx.fm.num_vectors = spec.fm_vectors;
-  ctx.d_hat = d_hat;
-  ctx.sketch_seed = config.sketch_seed;
-  ctx.values = &values_;
+  plan->ctx.fm.num_vectors = spec.fm_vectors;
+  plan->ctx.d_hat = plan->d_hat;
+  plan->ctx.sketch_seed = config.sketch_seed;
+  plan->ctx.values = &values_;
 
-  protocols::RandomizedReportOptions randomized = config.protocol_options.randomized;
+  plan->protocol_options = config.protocol_options;
+  protocols::RandomizedReportOptions& randomized =
+      plan->protocol_options.randomized;
   if (config.protocol == protocols::ProtocolKind::kRandomizedReport &&
       randomized.p_override == 0.0 && randomized.n_estimate <= 1.0) {
     randomized.n_estimate = static_cast<double>(graph_->num_hosts());
   }
-  protocols::ProtocolOptions protocol_options = config.protocol_options;
-  protocol_options.randomized = randomized;
+  return Status::Ok();
+}
 
-  std::unique_ptr<protocols::ProtocolBase> protocol = protocols::MakeProtocol(
-      config.protocol, &simulator, ctx, protocol_options);
-  simulator.AttachProgram(protocol.get());
-  protocol->Start(hq);
-  simulator.Run();
+void QueryEngine::ScheduleConfiguredChurn(sim::Simulator* simulator,
+                                          const RunConfig& config,
+                                          double d_hat, HostId hq) const {
+  if (config.churn_removals == 0) return;
+  SimTime horizon = 2.0 * d_hat * simulator->options().delta;
+  Rng churn_rng(config.churn_seed);
+  auto events = sim::MakeUniformChurn(
+      graph_->num_hosts(), hq, config.churn_removals,
+      config.churn_start_frac * horizon, config.churn_end_frac * horizon,
+      &churn_rng);
+  sim::ScheduleChurn(simulator, events);
+}
 
+QueryResult QueryEngine::HarvestResult(const sim::Simulator& simulator,
+                                       const sim::Metrics& metrics,
+                                       const protocols::ProtocolBase& protocol,
+                                       const QuerySpec& spec,
+                                       const RunConfig& config, double d_hat,
+                                       HostId hq) const {
   QueryResult result;
-  result.value = protocol->result().value;
-  result.declared = protocol->result().declared;
+  result.value = protocol.result().value;
+  result.declared = protocol.result().declared;
   result.d_hat_used = d_hat;
-  result.resident_state_bytes = protocol->ResidentStateBytes();
+  result.resident_state_bytes = protocol.ResidentStateBytes();
 
-  const sim::Metrics& metrics = simulator.metrics();
   result.cost.messages = metrics.messages_sent();
   result.cost.bytes = metrics.bytes_sent();
   result.cost.max_processed = metrics.MaxProcessed();
-  result.cost.declared_at = protocol->result().declared_at;
-  result.cost.last_update_at = protocol->result().last_update_at;
+  result.cost.declared_at = protocol.result().declared_at;
+  result.cost.last_update_at = protocol.result().last_update_at;
   result.cost.sends_per_tick = metrics.SendsPerTick();
   result.cost.computation_histogram = metrics.ComputationCostDistribution();
 
   // The ORACLE and the exact full aggregate read ground truth for the whole
   // network; million-host callers that touch a small disc skip them.
   if (config.compute_validity) {
+    SimTime horizon = 2.0 * d_hat * simulator.options().delta;
     protocols::OracleReport oracle = protocols::ComputeOracle(
         simulator, hq, /*t_begin=*/0.0, /*t_end=*/horizon, spec.aggregate,
         values_);
@@ -118,14 +121,207 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
     result.validity.hu_size = oracle.hu.size();
     result.validity.within = result.declared && oracle.Contains(result.value);
     result.validity.within_slack =
-        result.declared && oracle.ContainsWithin(result.value,
-                                                 kApproxSlackFactor);
+        result.declared &&
+        oracle.ContainsWithin(result.value, kApproxSlackFactor);
 
     std::vector<HostId> everyone(graph_->num_hosts());
     for (HostId h = 0; h < graph_->num_hosts(); ++h) everyone[h] = h;
     result.exact_full = ExactAggregate(spec.aggregate, values_, everyone);
   }
   return result;
+}
+
+StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
+                                       const RunConfig& config,
+                                       HostId hq) const {
+  RunPlan plan;
+  if (Status status = PlanRun(spec, config, hq, &plan); !status.ok()) {
+    return status;
+  }
+
+  sim::SimOptions sim_options = config.sim_options;
+  sim_options.failure_detection = plan.failure_detection;
+  sim::Simulator simulator(*graph_, sim_options);
+  ScheduleConfiguredChurn(&simulator, config, plan.d_hat, hq);
+
+  std::unique_ptr<protocols::ProtocolBase> protocol = protocols::MakeProtocol(
+      config.protocol, &simulator, plan.ctx, plan.protocol_options);
+  simulator.AttachProgram(protocol.get());
+  protocol->Start(hq);
+  simulator.Run();
+
+  return HarvestResult(simulator, simulator.metrics(), *protocol, spec,
+                       config, plan.d_hat, hq);
+}
+
+Status QueryEngine::CheckSession(const sim::SimulatorSession& session,
+                                 const RunConfig& config) const {
+  if (&session.graph() != graph_) {
+    return Status::InvalidArgument(
+        "session was built over a different graph than this engine");
+  }
+  const sim::SimOptions& built = session.simulator().options();
+  if (built.delta != config.sim_options.delta ||
+      built.medium != config.sim_options.medium ||
+      built.heartbeat_interval != config.sim_options.heartbeat_interval) {
+    return Status::InvalidArgument(
+        "session structural sim options (delta, medium, heartbeat) do not "
+        "match the run config");
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> QueryEngine::Run(sim::SimulatorSession* session,
+                                       const QuerySpec& spec,
+                                       const RunConfig& config,
+                                       HostId hq) const {
+  VALIDITY_CHECK(session != nullptr);
+  if (Status status = CheckSession(*session, config); !status.ok()) {
+    return status;
+  }
+  RunPlan plan;
+  if (Status status = PlanRun(spec, config, hq, &plan); !status.ok()) {
+    return status;
+  }
+
+  session->Reset();
+  sim::Simulator& simulator = session->simulator();
+  simulator.set_failure_detection(plan.failure_detection);
+  simulator.set_max_events(config.sim_options.max_events);
+  ScheduleConfiguredChurn(&simulator, config, plan.d_hat, hq);
+
+  std::unique_ptr<protocols::ProtocolBase> protocol =
+      AcquireSessionProtocol(session, config.protocol, plan);
+  simulator.AttachProgram(protocol.get());
+  protocol->Start(hq);
+  simulator.Run();
+
+  QueryResult result = HarvestResult(simulator, simulator.metrics(),
+                                     *protocol, spec, config, plan.d_hat, hq);
+  simulator.AttachProgram(nullptr);
+  session->ParkProgram(static_cast<uint32_t>(config.protocol),
+                       std::move(protocol));
+  return result;
+}
+
+std::unique_ptr<protocols::ProtocolBase> QueryEngine::AcquireSessionProtocol(
+    sim::SimulatorSession* session, protocols::ProtocolKind kind,
+    const RunPlan& plan) const {
+  if (std::unique_ptr<sim::HostProgram> parked =
+          session->TakeParkedProgram(static_cast<uint32_t>(kind))) {
+    std::unique_ptr<protocols::ProtocolBase> protocol(
+        static_cast<protocols::ProtocolBase*>(parked.release()));
+    protocols::ResetProtocol(protocol.get(), kind, plan.ctx,
+                             plan.protocol_options);
+    return protocol;
+  }
+  return protocols::MakeProtocol(kind, &session->simulator(), plan.ctx,
+                                 plan.protocol_options);
+}
+
+StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
+    sim::SimulatorSession* session,
+    const std::vector<ConcurrentQuery>& queries) const {
+  VALIDITY_CHECK(session != nullptr);
+  if (queries.empty()) return std::vector<QueryResult>();
+
+  std::vector<RunPlan> plans(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (Status status = CheckSession(*session, queries[i].config);
+        !status.ok()) {
+      return status;
+    }
+    if (Status status = PlanRun(queries[i].spec, queries[i].config,
+                                queries[i].hq, &plans[i]);
+        !status.ok()) {
+      return status;
+    }
+  }
+
+  // One shared timeline: the network dynamics every query observes must be
+  // identical, so the churn schedule (and everything it derives from) has
+  // to agree across the batch.
+  const RunConfig& base = queries[0].config;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    const RunConfig& config = queries[i].config;
+    if (config.churn_removals != base.churn_removals ||
+        config.churn_seed != base.churn_seed ||
+        config.churn_start_frac != base.churn_start_frac ||
+        config.churn_end_frac != base.churn_end_frac) {
+      return Status::InvalidArgument(
+          "concurrent queries share one network timeline and must agree on "
+          "the churn schedule");
+    }
+    if (base.churn_removals > 0 &&
+        (plans[i].d_hat != plans[0].d_hat || queries[i].hq != queries[0].hq)) {
+      return Status::InvalidArgument(
+          "churned concurrent queries must share D-hat and the querying "
+          "host (the churn window and the protected host derive from them)");
+    }
+  }
+
+  session->Reset();
+  sim::Simulator& simulator = session->simulator();
+  bool failure_detection = false;
+  // Event budgets guard a whole timeline, and this timeline carries every
+  // query of the batch: take the largest finite budget, but let any
+  // query's 0 ("unlimited") win — a finite batch-mate must not abort a
+  // query that asked for no limit.
+  uint64_t max_events = 0;
+  bool unlimited = false;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    failure_detection = failure_detection || plans[i].failure_detection;
+    uint64_t budget = queries[i].config.sim_options.max_events;
+    if (budget == 0) unlimited = true;
+    max_events = std::max(max_events, budget);
+  }
+  simulator.set_failure_detection(failure_detection);
+  simulator.set_max_events(unlimited ? 0 : max_events);
+  ScheduleConfiguredChurn(&simulator, base, plans[0].d_hat, queries[0].hq);
+
+  struct Lane {
+    std::unique_ptr<protocols::ProtocolBase> protocol;
+    uint32_t park_key = 0;
+    sim::Metrics* metrics = nullptr;
+  };
+  std::vector<Lane> lanes(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Lane& lane = lanes[i];
+    lane.park_key = static_cast<uint32_t>(queries[i].config.protocol);
+    lane.protocol =
+        AcquireSessionProtocol(session, queries[i].config.protocol, plans[i]);
+    lane.metrics = session->AcquireMetrics();
+    session->mux().Register(lane.protocol->instance_id(),
+                            lane.protocol.get());
+    simulator.AttachInstanceMetrics(lane.protocol->instance_id(),
+                                    lane.metrics);
+  }
+
+  simulator.AttachProgram(&session->mux());
+  // All queries start at t=0, in batch order (deterministic: equal-time
+  // events run in schedule order).
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i].protocol->Start(queries[i].hq);
+  }
+  simulator.Run();
+
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results.push_back(HarvestResult(simulator, *lanes[i].metrics,
+                                    *lanes[i].protocol, queries[i].spec,
+                                    queries[i].config, plans[i].d_hat,
+                                    queries[i].hq));
+  }
+
+  simulator.AttachProgram(nullptr);
+  for (Lane& lane : lanes) {
+    simulator.DetachInstanceMetrics(lane.protocol->instance_id());
+    session->mux().Unregister(lane.protocol->instance_id());
+    session->ReleaseMetrics(lane.metrics);
+    session->ParkProgram(lane.park_key, std::move(lane.protocol));
+  }
+  return results;
 }
 
 std::vector<double> MakeZipfValues(uint32_t num_hosts, uint64_t seed,

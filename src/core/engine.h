@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "protocols/oracle.h"
+#include "sim/session.h"
 #include "topology/graph.h"
 
 namespace validity::core {
@@ -95,6 +96,42 @@ class QueryEngine {
   StatusOr<QueryResult> Run(const QuerySpec& spec, const RunConfig& config,
                             HostId hq) const;
 
+  /// Session-reusing overload: runs the query on `session`'s cached
+  /// simulator instead of building a fresh one — the O(network) build is
+  /// paid once per (graph, sim options) and every query after it costs
+  /// O(touched) (docs/SESSIONS.md). The session must have been built over
+  /// this engine's graph with the same structural sim options as
+  /// `config.sim_options` (delta, medium, heartbeat); the per-query knobs
+  /// (failure detection, event budget) are retuned here. Resets the session
+  /// first, so any prior state on it is discarded. Output is bit-identical
+  /// to the fresh overload, field for field (tests/session_test.cc).
+  /// Sessions are single-threaded: concurrent engine.Run calls need one
+  /// session each (the sweep driver keeps one per worker).
+  StatusOr<QueryResult> Run(sim::SimulatorSession* session,
+                            const QuerySpec& spec, const RunConfig& config,
+                            HostId hq) const;
+
+  /// One query of a concurrent batch (see RunConcurrent).
+  struct ConcurrentQuery {
+    QuerySpec spec;
+    RunConfig config;
+    HostId hq = 0;
+  };
+
+  /// Issues every query at t=0 on one session and runs them in a single
+  /// shared simulated timeline: instance-tagged messages keep the queries'
+  /// traffic apart, and each query gets its own metrics lane, so
+  /// results[i] is bit-identical to running queries[i] alone (the
+  /// session/determinism contract, docs/SESSIONS.md). Because the network
+  /// dynamics are shared, all queries must agree on the structural sim
+  /// options and on the churn schedule: identical churn fields, and — when
+  /// churn is active — identical effective D-hat (the churn window is
+  /// derived from it) and identical querying host (churn protects hq).
+  /// Queries without churn may differ freely in protocol, spec, and hq.
+  StatusOr<std::vector<QueryResult>> RunConcurrent(
+      sim::SimulatorSession* session,
+      const std::vector<ConcurrentQuery>& queries) const;
+
   /// Estimated diameter of the topology (cached; double-sweep heuristic).
   /// Thread-safe: computed at most once under a std::once_flag.
   uint32_t EstimatedDiameter() const;
@@ -103,6 +140,40 @@ class QueryEngine {
   const topology::Graph& graph() const { return *graph_; }
 
  private:
+  /// Everything derived from (spec, config, hq) before a run starts.
+  struct RunPlan {
+    double d_hat = 0.0;
+    bool failure_detection = false;
+    protocols::QueryContext ctx;
+    protocols::ProtocolOptions protocol_options;
+  };
+
+  /// Validates the query and fills `plan`; shared by all Run flavors.
+  Status PlanRun(const QuerySpec& spec, const RunConfig& config, HostId hq,
+                 RunPlan* plan) const;
+  /// Session/config compatibility for the session-based flavors.
+  Status CheckSession(const sim::SimulatorSession& session,
+                      const RunConfig& config) const;
+  /// Schedules the configured uniform churn onto `simulator`.
+  void ScheduleConfiguredChurn(sim::Simulator* simulator,
+                               const RunConfig& config, double d_hat,
+                               HostId hq) const;
+  /// Re-arms a protocol instance parked on `session` under this kind, or
+  /// constructs the first one; either way Start() behaves identically.
+  /// Return it with ParkProgram(static_cast<uint32_t>(kind), ...) so its
+  /// warm pages and pools carry to the next query.
+  std::unique_ptr<protocols::ProtocolBase> AcquireSessionProtocol(
+      sim::SimulatorSession* session, protocols::ProtocolKind kind,
+      const RunPlan& plan) const;
+  /// Collects the §6.3 cost report, validity report, and ground truth after
+  /// a completed run. `metrics` is the lane this query's traffic was
+  /// charged to.
+  QueryResult HarvestResult(const sim::Simulator& simulator,
+                            const sim::Metrics& metrics,
+                            const protocols::ProtocolBase& protocol,
+                            const QuerySpec& spec, const RunConfig& config,
+                            double d_hat, HostId hq) const;
+
   const topology::Graph* graph_;
   std::vector<double> values_;
   mutable std::once_flag diameter_once_;

@@ -1,7 +1,10 @@
 #include "core/experiment.h"
 
+#include <memory>
+
 #include "common/rng.h"
 #include "core/sweep.h"
+#include "sim/session.h"
 
 namespace validity::core {
 
@@ -54,9 +57,16 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
   // Stage 1 (parallel): every (level, trial, protocol) grid point is an
   // independent const run whose seeds derive from its coordinates alone.
   // Flat index = (level_index * trials + trial) * num_protocols + protocol,
-  // matching the serial loop nesting below.
+  // matching the serial loop nesting below. Each worker keeps one
+  // SimulatorSession, so the O(network) simulator build is paid once per
+  // worker instead of once per cell; session reuse is bit-identical to
+  // fresh construction (docs/SESSIONS.md), so cell results do not depend on
+  // which worker ran them.
   std::vector<CellRun> runs(total_runs);
-  ParallelFor(total_runs, options.threads, [&](size_t i) {
+  std::vector<std::unique_ptr<sim::SimulatorSession>> sessions(
+      ResolveThreads(options.threads));
+  ParallelForWorker(total_runs, options.threads, [&](uint32_t worker,
+                                                     size_t i) {
     const size_t ri = i / runs_per_level;
     const uint32_t t = static_cast<uint32_t>((i / num_protocols) %
                                              options.trials);
@@ -74,7 +84,12 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
     config.churn_removals = r;
     config.churn_seed = churn_seed;
     config.sketch_seed = sketch_seed;
-    StatusOr<QueryResult> run = engine.Run(spec, config, hq);
+    if (sessions[worker] == nullptr) {
+      sessions[worker] = std::make_unique<sim::SimulatorSession>(
+          &engine.graph(), options.sim_options);
+    }
+    StatusOr<QueryResult> run =
+        engine.Run(sessions[worker].get(), spec, config, hq);
     VALIDITY_CHECK(run.ok(), "sweep run failed: %s",
                    run.status().ToString().c_str());
     runs[i] = CellRun{run->value,

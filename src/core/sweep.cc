@@ -17,26 +17,27 @@ uint32_t ResolveThreads(uint32_t requested) {
   return std::min(requested, kMaxSweepThreads);
 }
 
-void ParallelFor(size_t n, uint32_t threads,
-                 const std::function<void(size_t)>& body) {
+void ParallelForWorker(
+    size_t n, uint32_t threads,
+    const std::function<void(uint32_t worker, size_t i)>& body) {
   if (n == 0) return;
   uint32_t workers = static_cast<uint32_t>(
       std::min<size_t>(ResolveThreads(threads), n));
 
   if (workers == 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
 
   std::atomic<size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  auto work = [&] {
+  auto work = [&](uint32_t worker) {
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        body(i);
+        body(worker, i);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -53,8 +54,8 @@ void ParallelFor(size_t n, uint32_t threads,
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
   try {
-    for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(work);
-    work();  // The calling thread is worker 0.
+    for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);  // The calling thread is worker 0.
   } catch (...) {
     // Thread spawn failed (e.g. process/thread limit): cancel unclaimed
     // indices, join whatever did start, and report the failure instead of
@@ -65,6 +66,11 @@ void ParallelFor(size_t n, uint32_t threads,
   }
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(size_t n, uint32_t threads,
+                 const std::function<void(size_t)>& body) {
+  ParallelForWorker(n, threads, [&body](uint32_t, size_t i) { body(i); });
 }
 
 }  // namespace validity::core

@@ -55,6 +55,17 @@ uint32_t ResolveThreads(uint32_t requested);
 void ParallelFor(size_t n, uint32_t threads,
                  const std::function<void(size_t)>& body);
 
+/// ParallelFor variant whose body also receives the executing worker's
+/// index in [0, ResolveThreads(threads)). Lets a caller keep one reusable
+/// per-worker context — e.g. a sim::SimulatorSession, which is
+/// single-threaded and expensive to build — without sharing it across
+/// workers. Which indices land on which worker is nondeterministic (dynamic
+/// claiming); per-worker contexts must therefore not influence results —
+/// exactly the session determinism contract (docs/SESSIONS.md).
+void ParallelForWorker(
+    size_t n, uint32_t threads,
+    const std::function<void(uint32_t worker, size_t i)>& body);
+
 /// Value-returning form: results[i] = fn(i), computed in parallel, returned
 /// in index order. T must be default-constructible and must not be bool:
 /// std::vector<bool> packs 8 elements per byte, so concurrent writes to

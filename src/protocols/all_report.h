@@ -38,6 +38,11 @@ class AllReportProtocol : public ProtocolBase {
 
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
+  /// Session reuse: rebind context + options and re-arm (see ProtocolBase).
+  void ResetForQuery(QueryContext ctx, const AllReportOptions& options) {
+    options_ = options;
+    ProtocolBase::ResetForQuery(std::move(ctx));
+  }
   std::string_view name() const override { return "all-report"; }
   size_t ResidentStateBytes() const override {
     return states_.ResidentBytes();

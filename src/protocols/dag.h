@@ -40,6 +40,12 @@ class DagProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   void OnNeighborFailure(HostId self, HostId failed) override;
+  /// Session reuse: rebind context + options and re-arm, keeping the warm
+  /// state pages and report body pool (see ProtocolBase).
+  void ResetForQuery(QueryContext ctx, const DagOptions& options) {
+    options_ = options;
+    ProtocolBase::ResetForQuery(std::move(ctx));
+  }
   std::string_view name() const override { return "dag"; }
   size_t ResidentStateBytes() const override {
     return states_.ResidentBytes();
@@ -63,6 +69,7 @@ class DagProtocol : public ProtocolBase {
   };
 
   void OnLocalTimer(HostId self, uint32_t local_id) override;
+  void OnReset() override { report_pool_.ResetRecycleOrder(); }
 
   /// Inline wire payloads for the small fixed-size messages.
   struct DagBroadcastPayload {

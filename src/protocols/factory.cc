@@ -42,4 +42,32 @@ std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,
   return nullptr;
 }
 
+void ResetProtocol(ProtocolBase* protocol, ProtocolKind kind, QueryContext ctx,
+                   const ProtocolOptions& options) {
+  VALIDITY_CHECK(protocol != nullptr);
+  switch (kind) {
+    case ProtocolKind::kAllReport:
+      static_cast<AllReportProtocol*>(protocol)->ResetForQuery(
+          std::move(ctx), options.all_report);
+      return;
+    case ProtocolKind::kRandomizedReport:
+      static_cast<RandomizedReportProtocol*>(protocol)->ResetForQuery(
+          std::move(ctx), options.randomized);
+      return;
+    case ProtocolKind::kSpanningTree:
+      static_cast<SpanningTreeProtocol*>(protocol)->ResetForQuery(
+          std::move(ctx), options.spanning_tree);
+      return;
+    case ProtocolKind::kDag:
+      static_cast<DagProtocol*>(protocol)->ResetForQuery(std::move(ctx),
+                                                         options.dag);
+      return;
+    case ProtocolKind::kWildfire:
+      static_cast<WildfireProtocol*>(protocol)->ResetForQuery(
+          std::move(ctx), options.wildfire);
+      return;
+  }
+  VALIDITY_CHECK(false, "unknown protocol kind");
+}
+
 }  // namespace validity::protocols

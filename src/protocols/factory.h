@@ -38,6 +38,15 @@ std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,
                                            QueryContext ctx,
                                            const ProtocolOptions& options);
 
+/// Re-arms a cached instance for a new query on its simulator — the session
+/// reuse path that replaces per-run construction. `protocol`'s dynamic type
+/// must be the one MakeProtocol(kind, ...) builds; the context and this
+/// kind's option bundle are rebound, the instance id is refreshed, and the
+/// next Start() behaves exactly like a freshly constructed protocol while
+/// keeping warm storage (state page directories, body pools).
+void ResetProtocol(ProtocolBase* protocol, ProtocolKind kind,
+                   QueryContext ctx, const ProtocolOptions& options);
+
 }  // namespace validity::protocols
 
 #endif  // VALIDITY_PROTOCOLS_FACTORY_H_

@@ -72,6 +72,21 @@ class ProtocolBase : public sim::HostProgram {
   const ProtocolRunResult& result() const { return result_; }
   virtual std::string_view name() const = 0;
 
+  /// This instance's id — the tag carried in the upper bits of its message
+  /// kinds and timer ids. Sessions route concurrent queries' traffic and
+  /// metrics by it (sim/session.h).
+  uint32_t instance_id() const { return instance_id_; }
+
+  /// Re-arms a cached instance for a new query on the same simulator,
+  /// replacing per-run construction (the session reuse path): rebinds the
+  /// query context, clears the run result, and draws a fresh instance id so
+  /// stale in-flight traffic from the previous query can never be
+  /// mistaken for this one. Warm storage — state page directories, body
+  /// pools, scratch vectors — survives; per-run protocol state is reset by
+  /// Start() exactly as after fresh construction, keeping the two paths
+  /// bit-identical. Subclasses with extra per-run state hook OnReset().
+  void ResetForQuery(QueryContext ctx);
+
   /// Bytes of per-host state currently resident. Protocols page their state
   /// lazily (see PagedStates), so this is proportional to the hosts a query
   /// actually touched, not the network size.
@@ -81,8 +96,9 @@ class ProtocolBase : public sim::HostProgram {
   /// stale timers from other protocol instances (continuous queries swap
   /// instances per window). Final: protocols implement OnLocalTimer.
   void OnTimer(HostId self, uint64_t timer_id) final {
-    if ((timer_id >> 8) != instance_id_) return;
-    OnLocalTimer(self, static_cast<uint32_t>(timer_id & 0xff));
+    if ((timer_id >> sim::kInstanceTagShift) != instance_id_) return;
+    OnLocalTimer(self,
+                 static_cast<uint32_t>(timer_id & sim::kLocalKindMask));
   }
 
   HostId querying_host() const { return hq_; }
@@ -95,26 +111,35 @@ class ProtocolBase : public sim::HostProgram {
  protected:
   /// Packs a protocol-local message kind with this instance's id.
   uint32_t MakeKind(uint32_t local) const {
-    VALIDITY_DCHECK(local <= 0xff, "local kind %u exceeds the 8-bit tag", local);
-    return (instance_id_ << 8) | (local & 0xff);
+    VALIDITY_DCHECK(local <= sim::kLocalKindMask,
+                    "local kind %u exceeds the 8-bit tag", local);
+    return (instance_id_ << sim::kInstanceTagShift) |
+           (local & sim::kLocalKindMask);
   }
   /// Returns true and extracts the local kind if `kind` belongs to this
   /// instance; stale messages from other instances return false.
   bool DecodeKind(uint32_t kind, uint32_t* local) const {
-    if ((kind >> 8) != instance_id_) return false;
-    *local = kind & 0xff;
+    if ((kind >> sim::kInstanceTagShift) != instance_id_) return false;
+    *local = kind & sim::kLocalKindMask;
     return true;
   }
+
+  /// ResetForQuery hook for per-run state not already re-initialized by
+  /// Start(). Runs after the context/instance-id swap. Default: nothing —
+  /// every engine protocol resets its run state in Start().
+  virtual void OnReset() {}
 
   /// Instance-safe typed timer: fires OnLocalTimer(host, local_id) at time t
   /// iff `host` is then alive. The instance id rides in the upper bits of
   /// the simulator timer id (mirroring MakeKind), so timers never cross
   /// instances — and the schedule is a plain typed event, no allocation.
   void ScheduleLocalTimer(HostId host, SimTime t, uint32_t local_id) {
-    VALIDITY_DCHECK(local_id <= 0xff, "local timer id %u exceeds the 8-bit tag",
-                    local_id);
+    VALIDITY_DCHECK(local_id <= sim::kLocalKindMask,
+                    "local timer id %u exceeds the 8-bit tag", local_id);
     sim_->ScheduleTimer(
-        host, t, (static_cast<uint64_t>(instance_id_) << 8) | (local_id & 0xff));
+        host, t,
+        (static_cast<uint64_t>(instance_id_) << sim::kInstanceTagShift) |
+            (local_id & sim::kLocalKindMask));
   }
 
   /// Typed-timer callback; `local_id` is the value given to

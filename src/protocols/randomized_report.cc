@@ -7,7 +7,13 @@ namespace validity::protocols {
 
 RandomizedReportProtocol::RandomizedReportProtocol(
     sim::Simulator* sim, QueryContext ctx, RandomizedReportOptions options)
-    : ProtocolBase(sim, std::move(ctx)), options_(options) {
+    : ProtocolBase(sim, std::move(ctx)) {
+  Configure(options);
+}
+
+void RandomizedReportProtocol::Configure(
+    const RandomizedReportOptions& options) {
+  options_ = options;
   VALIDITY_CHECK(ctx_.aggregate == AggregateKind::kCount ||
                      ctx_.aggregate == AggregateKind::kSum,
                  "randomized report estimates count or sum only");
@@ -22,6 +28,12 @@ RandomizedReportProtocol::RandomizedReportProtocol(
                             options_.n_estimate) *
                            std::log(2.0 / options_.zeta));
   }
+}
+
+void RandomizedReportProtocol::ResetForQuery(
+    QueryContext ctx, const RandomizedReportOptions& options) {
+  ProtocolBase::ResetForQuery(std::move(ctx));
+  Configure(options);
 }
 
 void RandomizedReportProtocol::Activate(HostId self, int32_t depth) {

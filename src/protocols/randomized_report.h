@@ -40,6 +40,9 @@ class RandomizedReportProtocol : public ProtocolBase {
 
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
+  /// Session reuse: rebind context + options, re-deriving the report
+  /// probability, and re-arm (see ProtocolBase).
+  void ResetForQuery(QueryContext ctx, const RandomizedReportOptions& options);
   std::string_view name() const override { return "randomized-report"; }
   size_t ResidentStateBytes() const override {
     return active_.ResidentBytes();
@@ -65,6 +68,8 @@ class RandomizedReportProtocol : public ProtocolBase {
   };
 
   void Activate(HostId self, int32_t depth);
+  /// Validates `options` and derives the report probability p_.
+  void Configure(const RandomizedReportOptions& options);
 
   RandomizedReportOptions options_;
   double p_ = 1.0;

@@ -46,6 +46,11 @@ class SpanningTreeProtocol : public ProtocolBase {
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
   void OnNeighborFailure(HostId self, HostId failed) override;
+  /// Session reuse: rebind context + options and re-arm (see ProtocolBase).
+  void ResetForQuery(QueryContext ctx, const SpanningTreeOptions& options) {
+    options_ = options;
+    ProtocolBase::ResetForQuery(std::move(ctx));
+  }
   std::string_view name() const override { return "spanning-tree"; }
   size_t ResidentStateBytes() const override {
     return states_.ResidentBytes();

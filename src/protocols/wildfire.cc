@@ -63,7 +63,7 @@ void WildfireProtocol::Activate(HostId self, int32_t level) {
   st.level = level;
   st.agg = InitialAggregate(self);
   st.version = 1;
-  st.known_version.assign(sim_->NeighborsOf(self).size(), 0);
+  st.known_version.Assign(sim_->NeighborsOf(self).size());
 }
 
 void WildfireProtocol::Start(HostId hq) {

@@ -217,4 +217,28 @@ void EventQueue::RunAll() {
   }
 }
 
+void EventQueue::Clear(const std::function<void(const Event&)>& on_discard) {
+  for (uint32_t index : heap_) {
+    Bucket& bucket = buckets_[index];
+    for (size_t i = bucket.head; i < bucket.events.size(); ++i) {
+      const Event& event = bucket.events[i];
+      if (event.tag == EventTag::kGeneric) {
+        generic_pool_[event.slot] = nullptr;
+        generic_free_.push_back(event.slot);
+      } else if (on_discard) {
+        on_discard(event);
+      }
+    }
+    MapErase(TimeKey(bucket.time));
+    bucket.events.clear();
+    bucket.head = 0;
+    bucket.next_free = free_bucket_;
+    free_bucket_ = index;
+  }
+  heap_.clear();
+  size_ = 0;
+  now_ = 0;
+  executed_ = 0;
+}
+
 }  // namespace validity::sim

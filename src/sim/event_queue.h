@@ -101,6 +101,16 @@ class EventQueue {
   /// Runs to exhaustion.
   void RunAll();
 
+  /// Discards every pending event without running it and rewinds the clock:
+  /// Now() returns to 0 and executed() to 0, as if freshly constructed.
+  /// `on_discard` (optional) sees each pending non-generic event so the
+  /// owner can release resources it references (the simulator drops message
+  /// slab references of undelivered kDeliver events); pending kGeneric
+  /// closures are destroyed internally. O(pending events + pending distinct
+  /// timestamps); bucket, heap, map, and closure-pool storage is retained
+  /// for the next run. This is the session-reset path (sim/session.h).
+  void Clear(const std::function<void(const Event&)>& on_discard = nullptr);
+
   /// Number of events executed so far.
   uint64_t executed() const { return executed_; }
 

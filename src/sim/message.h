@@ -182,6 +182,21 @@ class BodyPool {
   /// state this stops growing (the zero-allocation-per-send property).
   size_t total_allocated() const { return core_->all_.size(); }
 
+  /// When every body is free (a drained inter-query pool), re-sequences the
+  /// free list so Acquire() hands bodies out in first-allocation order
+  /// again. A run's drain leaves the free list in release order, and
+  /// chasing it scatters the next run's hottest payload accesses across the
+  /// heap — restoring allocation order here is what makes a session-reused
+  /// protocol *faster* than a freshly constructed one rather than ~10%
+  /// slower. No-op while bodies are still in flight.
+  void ResetRecycleOrder() {
+    if (core_->free_.size() != core_->all_.size()) return;
+    core_->free_.clear();
+    for (auto it = core_->all_.rbegin(); it != core_->all_.rend(); ++it) {
+      core_->free_.push_back(it->get());
+    }
+  }
+
  private:
   struct Core final : BodyPoolCore {
     void Recycle(MessageBody* body) override {
@@ -199,6 +214,15 @@ template <typename T, typename... Args>
 BodyRef MakeHeapBody(Args&&... args) {
   return BodyRef(new T(std::forward<Args>(args)...));
 }
+
+/// Message kinds and timer ids carry the owning protocol instance's id in
+/// their upper bits: kind = (instance_id << kInstanceTagShift) | local_kind.
+/// Receivers drop traffic tagged for another instance, which is what lets
+/// several query instances (continuous windows, concurrent session queries)
+/// multiplex one simulator; the session layer (session.h) also routes
+/// per-query metrics by this tag.
+inline constexpr uint32_t kInstanceTagShift = 8;
+inline constexpr uint32_t kLocalKindMask = (1u << kInstanceTagShift) - 1;
 
 /// Capacity of the inline payload area. Sized for the largest inline user
 /// (SPANNINGTREE's ScalarPartial report: 3 doubles + count + addressee).

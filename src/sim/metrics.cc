@@ -26,21 +26,38 @@ void Metrics::RecordSend(SimTime t, size_t bytes) {
 
 void Metrics::RecordProcessed(HostId h, SimTime t) {
   VALIDITY_DCHECK(h < processed_.size());
-  ++processed_[h];
+  if (processed_[h]++ == 0) touched_.push_back(h);
   ++messages_delivered_;
   last_delivery_time_ = std::max(last_delivery_time_, t);
 }
 
 uint64_t Metrics::MaxProcessed() const {
   uint64_t max_count = 0;
-  for (uint64_t c : processed_) max_count = std::max(max_count, c);
+  for (HostId h : touched_) max_count = std::max(max_count, processed_[h]);
   return max_count;
 }
 
 Histogram Metrics::ComputationCostDistribution() const {
   Histogram h;
-  for (uint64_t c : processed_) h.Add(static_cast<int64_t>(c));
+  int64_t zeros = static_cast<int64_t>(processed_.size()) -
+                  static_cast<int64_t>(touched_.size());
+  if (zeros > 0) h.Add(0, zeros);
+  for (HostId host : touched_) h.Add(static_cast<int64_t>(processed_[host]));
   return h;
+}
+
+void Metrics::Reset(uint32_t num_hosts) {
+  for (HostId h : touched_) {
+    if (h < num_hosts) processed_[h] = 0;
+  }
+  touched_.clear();
+  processed_.resize(num_hosts, 0);
+  sends_per_tick_.clear();
+  messages_sent_ = 0;
+  bytes_sent_ = 0;
+  messages_delivered_ = 0;
+  last_send_time_ = 0;
+  last_delivery_time_ = 0;
 }
 
 }  // namespace validity::sim

@@ -8,6 +8,10 @@
 //  - Time cost: tracked by the protocols as the result-declaration time;
 //    the metrics also record the last delivery time and the per-tick
 //    message series used by Fig. 13(b).
+//
+// Hosts that processed at least one message are tracked in a dirty list, so
+// Reset() — the inter-query session path — and the per-host summaries cost
+// O(hosts touched + ticks elapsed), not O(network).
 
 #ifndef VALIDITY_SIM_METRICS_H_
 #define VALIDITY_SIM_METRICS_H_
@@ -42,9 +46,11 @@ class Metrics {
   uint64_t ProcessedBy(HostId h) const { return processed_[h]; }
 
   /// Max messages processed by any single host = protocol computation cost.
+  /// O(hosts that processed anything).
   uint64_t MaxProcessed() const;
 
   /// Histogram: processed-message count -> number of hosts (Fig. 12).
+  /// Hosts that processed nothing contribute to the zero bucket.
   Histogram ComputationCostDistribution() const;
 
   /// Messages sent during tick [i, i+1) (Fig. 13(b)). Index i = floor(t).
@@ -53,6 +59,11 @@ class Metrics {
   /// Grows the per-host table when hosts join.
   void OnHostAdded() { processed_.push_back(0); }
 
+  /// Zeroes every counter for a fresh run over `num_hosts` hosts (truncating
+  /// entries of hosts joined since construction). O(hosts touched + ticks),
+  /// not O(num_hosts); storage capacity is retained.
+  void Reset(uint32_t num_hosts);
+
  private:
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
@@ -60,6 +71,9 @@ class Metrics {
   SimTime last_send_time_ = 0;
   SimTime last_delivery_time_ = 0;
   std::vector<uint64_t> processed_;
+  /// Hosts with processed_[h] > 0, each exactly once (pushed on the 0 -> 1
+  /// transition).
+  std::vector<HostId> touched_;
   std::vector<uint64_t> sends_per_tick_;
 };
 

@@ -14,6 +14,7 @@ Simulator::Simulator(const topology::Graph& graph, SimOptions options)
       alive_(graph.num_hosts(), 1),
       failure_time_(graph.num_hosts(), kNever),
       join_time_(graph.num_hosts(), 0.0),
+      base_hosts_(graph.num_hosts()),
       alive_count_(graph.num_hosts()),
       metrics_(graph.num_hosts()) {
   VALIDITY_CHECK(options_.delta > 0, "delta must be positive");
@@ -59,6 +60,79 @@ void Simulator::CheckEventBudget() const {
   if (options_.max_events > 0) {
     VALIDITY_CHECK(queue_.executed() <= options_.max_events,
                    "event budget exhausted: protocol may not terminate");
+  }
+}
+
+void Simulator::Reset() {
+  // Drop pending events; undelivered fan-out deliveries still hold slab
+  // references that must be released for their slots (and pooled bodies) to
+  // recycle.
+  queue_.Clear([this](const Event& event) {
+    if (event.tag == EventTag::kDeliver) {
+      MessageSlot& slot = SlotAt(event.slot);
+      if (--slot.refs == 0) ReleaseMessageSlot(event.slot);
+    }
+  });
+  // Every slot is free now; rewind the slab to sequential allocation instead
+  // of chasing the drained free list's scrambled order (chunk storage stays
+  // warm, but the next run's slot accesses are contiguous again, like a
+  // fresh simulator's). Payload references must be dropped: a recycled slot
+  // is only body-reset when it leaves the free list, and slab_used_ = 0
+  // abandons the list.
+  for (uint32_t i = 0; i < slab_used_; ++i) SlotAt(i).msg.body.reset();
+  slab_used_ = 0;
+  free_head_ = kNoFreeSlot;
+  // Hosts joined at runtime: peel their CSR tail segments and the reverse
+  // edges they appended to base hosts' overflow lists (reverse join order,
+  // so each overflow list pops from its back).
+  if (num_hosts() > base_hosts_) {
+    for (HostId h = num_hosts(); h-- > base_hosts_;) {
+      uint32_t begin = nbr_offset_[h];
+      uint32_t end = nbr_offset_[h + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        HostId nb = nbr_flat_[i];
+        if (nb < base_hosts_) {
+          VALIDITY_DCHECK(!nbr_extra_[nb].empty() &&
+                          nbr_extra_[nb].back() == h);
+          nbr_extra_[nb].pop_back();
+        }
+      }
+    }
+    nbr_flat_.resize(nbr_offset_[base_hosts_]);
+    nbr_offset_.resize(base_hosts_ + 1);
+    nbr_extra_.resize(base_hosts_);
+    alive_.resize(base_hosts_);
+    failure_time_.resize(base_hosts_);
+    join_time_.resize(base_hosts_);
+    // Joined hosts may have cached reverse-slot orders; joins are the cold
+    // path, so drop the whole index epoch rather than tracking which base
+    // pages stayed valid.
+    slot_index_.Reset(base_hosts_);
+  }
+  for (HostId h : failed_hosts_) {
+    if (h >= base_hosts_) continue;  // joined-and-failed: truncated above
+    alive_[h] = 1;
+    failure_time_[h] = kNever;
+  }
+  failed_hosts_.clear();
+  alive_count_ = base_hosts_;
+  metrics_.Reset(base_hosts_);
+  instance_metrics_.clear();
+  program_ = nullptr;
+}
+
+void Simulator::AttachInstanceMetrics(uint32_t instance_id, Metrics* metrics) {
+  VALIDITY_DCHECK(metrics != nullptr);
+  instance_metrics_.push_back(InstanceMetrics{instance_id, metrics});
+}
+
+void Simulator::DetachInstanceMetrics(uint32_t instance_id) {
+  for (auto it = instance_metrics_.begin(); it != instance_metrics_.end();
+       ++it) {
+    if (it->instance_id == instance_id) {
+      instance_metrics_.erase(it);
+      return;
+    }
   }
 }
 
@@ -167,6 +241,7 @@ void Simulator::FailHost(HostId h) {
   Trace(TraceEventKind::kFail, h, h, 0);
   alive_[h] = 0;
   failure_time_[h] = Now();
+  failed_hosts_.push_back(h);
   --alive_count_;
   if (options_.failure_detection && program_ != nullptr) {
     // Neighbors detect the silence one heartbeat interval plus one delay
@@ -203,6 +278,11 @@ StatusOr<HostId> Simulator::AddHost(const std::vector<HostId>& neighbors) {
   Trace(TraceEventKind::kJoin, id, id, 0);
   ++alive_count_;
   metrics_.OnHostAdded();
+  // Per-instance lanes must cover the new host too, or a tagged message
+  // delivered to it would index past the lane's per-host table.
+  for (const InstanceMetrics& entry : instance_metrics_) {
+    entry.metrics->OnHostAdded();
+  }
   return id;
 }
 
@@ -212,7 +292,7 @@ void Simulator::DeliverTo(HostId to, const Message& msg) {
     return;  // lost: destination failed before delivery
   }
   Trace(TraceEventKind::kDeliver, msg.src, to, msg.kind);
-  metrics_.RecordProcessed(to, Now());
+  MetricsFor(msg.kind).RecordProcessed(to, Now());
   if (program_ != nullptr) program_->OnMessage(to, msg);
 }
 
@@ -222,7 +302,7 @@ void Simulator::SendTo(HostId from, HostId to, Message msg) {
   msg.src = from;
   msg.dst = to;
   Trace(TraceEventKind::kSend, from, to, msg.kind);
-  metrics_.RecordSend(Now(), msg.SizeBytes());
+  MetricsFor(msg.kind).RecordSend(Now(), msg.SizeBytes());
   uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
   queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
                        slot, 0);
@@ -239,10 +319,11 @@ void Simulator::SendToNeighbors(HostId from, Message msg) {
   }
   SimTime arrive = Now() + options_.delta;
   size_t bytes = msg.SizeBytes();
+  Metrics& metrics = MetricsFor(msg.kind);
   if (options_.medium == MediumKind::kWireless) {
     // One transmission; every alive neighbor hears it.
     Trace(TraceEventKind::kSend, from, kInvalidHost, msg.kind);
-    metrics_.RecordSend(Now(), bytes);
+    metrics.RecordSend(Now(), bytes);
     if (alive_nbrs == 0) return;
     uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs);
     for (HostId nb : nbrs) {
@@ -259,7 +340,7 @@ void Simulator::SendToNeighbors(HostId from, Message msg) {
   for (HostId nb : nbrs) {
     if (!IsAlive(nb)) continue;
     Trace(TraceEventKind::kSend, from, nb, kind);
-    metrics_.RecordSend(Now(), bytes);
+    metrics.RecordSend(Now(), bytes);
     queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
   }
 }
@@ -272,12 +353,13 @@ void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
   SimTime arrive = Now() + options_.delta;
   size_t bytes = msg.SizeBytes();
   uint32_t kind = msg.kind;
+  Metrics& metrics = MetricsFor(kind);
   uint32_t slot = AcquireMessageSlot(std::move(msg), count);
   for (uint32_t i = 0; i < count; ++i) {
     HostId to = targets[i];
     VALIDITY_DCHECK(to < num_hosts() && IsAlive(to));
     Trace(TraceEventKind::kSend, from, to, kind);
-    metrics_.RecordSend(Now(), bytes);
+    metrics.RecordSend(Now(), bytes);
     queue_.ScheduleTyped(arrive, EventTag::kDeliver, to, from, slot, 0);
   }
 }
@@ -290,7 +372,7 @@ void Simulator::SendDirect(HostId from, HostId to, Message msg) {
   msg.src = from;
   msg.dst = to;
   Trace(TraceEventKind::kSend, from, to, msg.kind);
-  metrics_.RecordSend(Now(), msg.SizeBytes());
+  MetricsFor(msg.kind).RecordSend(Now(), msg.SizeBytes());
   uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
   queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
                        slot, 0);

@@ -148,6 +148,26 @@ class Simulator {
   SimTime Now() const { return queue_.Now(); }
   const SimOptions& options() const { return options_; }
 
+  /// Per-query knobs a SimulatorSession retunes between runs without
+  /// rebuilding the simulator. failure_detection only gates what FailHost
+  /// schedules from now on; max_events re-arms the event budget (the
+  /// executed() counter itself rewinds in Reset()).
+  void set_failure_detection(bool enabled) {
+    options_.failure_detection = enabled;
+  }
+  void set_max_events(uint64_t max_events) { options_.max_events = max_events; }
+
+  /// Restores the simulator to its just-constructed state — every base host
+  /// alive at time 0, empty event queue, zeroed metrics, no attached
+  /// program — in time proportional to what previous runs touched (failed
+  /// hosts, joined hosts, pending events, hosts that processed messages),
+  /// not the network size. Graph-derived structures (CSR adjacency, the
+  /// NeighborSlotOf index) survive untouched, which is what makes a cached
+  /// per-graph simulator worth keeping: see sim/session.h. Hosts added at
+  /// runtime (AddHost) are removed again; the trace recorder, if any, stays
+  /// attached.
+  void Reset();
+
   /// Runs until the event queue is exhausted.
   void Run();
   /// Runs events with time <= t.
@@ -249,6 +269,14 @@ class Simulator {
   const Metrics& metrics() const { return metrics_; }
   uint64_t events_executed() const { return queue_.executed(); }
 
+  /// Routes cost accounting for messages whose kind carries `instance_id`
+  /// in its upper bits (see kInstanceTagShift) to `metrics` instead of the
+  /// shared metrics(). This is how N concurrent queries on one session each
+  /// get their own §6.3 cost report; `metrics` must outlive the attachment.
+  /// Attachments are cleared by Reset().
+  void AttachInstanceMetrics(uint32_t instance_id, Metrics* metrics);
+  void DetachInstanceMetrics(uint32_t instance_id);
+
   /// Optional event tracing; pass nullptr to detach. The recorder must
   /// outlive the simulator (or be detached first).
   void AttachTrace(TraceRecorder* trace) { trace_ = trace; }
@@ -279,6 +307,19 @@ class Simulator {
 
   void DeliverTo(HostId to, const Message& msg);
   void CheckEventBudget() const;
+
+  /// The metrics object charged for a message of this kind: the shared
+  /// metrics_ unless a per-instance attachment matches. The common
+  /// single-query case costs one predicted branch on the empty list.
+  Metrics& MetricsFor(uint32_t kind) {
+    if (__builtin_expect(!instance_metrics_.empty(), 0)) {
+      uint32_t id = kind >> kInstanceTagShift;
+      for (const InstanceMetrics& entry : instance_metrics_) {
+        if (entry.instance_id == id) return *entry.metrics;
+      }
+    }
+    return metrics_;
+  }
   void Trace(TraceEventKind kind, HostId src, HostId dst, uint32_t mkind) {
     // Predicted-not-taken fast path: with no recorder attached this is one
     // well-predicted test against a cold branch.
@@ -309,6 +350,17 @@ class Simulator {
   std::vector<uint8_t> alive_;
   std::vector<SimTime> failure_time_;
   std::vector<SimTime> join_time_;
+  /// Hosts FailHost actually transitioned to dead, each once — the dirty
+  /// list Reset() walks to revive the base network in O(failed).
+  std::vector<HostId> failed_hosts_;
+  /// Host count at construction; hosts joined at runtime (ids >= this) are
+  /// truncated away again by Reset().
+  uint32_t base_hosts_ = 0;
+  struct InstanceMetrics {
+    uint32_t instance_id;
+    Metrics* metrics;
+  };
+  std::vector<InstanceMetrics> instance_metrics_;
   /// Message payload slab (stable chunked storage + free list).
   std::vector<std::unique_ptr<MessageSlot[]>> slab_;
   uint32_t slab_used_ = 0;

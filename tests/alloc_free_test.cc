@@ -104,6 +104,51 @@ TEST(AllocFreeTest, WildfireScalarSendsCarryAggregatesInline) {
   EXPECT_EQ(wf.aggregate_bodies_allocated(), 0u);
 }
 
+TEST(AllocFreeTest, GridActivationKeepsKnownVersionsInline) {
+  // Moore-grid degree (8) fits KnownVersionArray's inline capacity, and a
+  // scalar (kMax) combiner needs no sketch buffer — so after a first query
+  // warmed the pages, slab, and calendar, a *whole* second query on a reset
+  // simulator performs zero heap allocations, activations included. Before
+  // the known-version fold-in, every activated host allocated one
+  // per-neighbor version vector.
+  static_assert(KnownVersionArray::kInlineSlots >= 8,
+                "Moore-grid degree must fit inline");
+  topology::Graph g = *topology::MakeGrid(40);  // 1600 hosts, degree <= 8
+  std::vector<double> values(g.num_hosts());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 41) % 500);
+  }
+  sim::Simulator sim(g, sim::SimOptions{});
+  QueryContext ctx =
+      MakeContext(AggregateKind::kMax, CombinerKind::kMax, &values, 60);
+  WildfireProtocol wf(&sim, ctx);
+  sim.AttachProgram(&wf);
+  wf.Start(0);
+  sim.Run();
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_EQ(wf.aggregate_bodies_allocated(), 0u);
+
+  // Session-style second query: epoch reset + re-arm, then the identical
+  // query end to end with the allocator off limits.
+  sim.Reset();
+  wf.ResetForQuery(ctx, WildfireOptions{});
+  sim.AttachProgram(&wf);
+  uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  wf.Start(0);
+  sim.Run();
+  uint64_t allocs = g_allocations.load(std::memory_order_relaxed) -
+                    allocs_before;
+  ASSERT_TRUE(wf.result().declared);
+  EXPECT_GT(sim.metrics().messages_sent(), 1000u);
+  // ~1600 activations, tens of thousands of sends: nothing per host or per
+  // message may allocate. A handful of recycled calendar buckets regrowing
+  // their capacity is the same O(1) slack the gossip drain-phase bound
+  // allows.
+  EXPECT_LE(allocs, 16u)
+      << "a warmed session query (scalar combiner, inline degree) must not "
+         "allocate per activated host";
+}
+
 TEST(AllocFreeTest, GossipSteadyStateRoundsAreAllocationFree) {
   topology::Graph g = *topology::MakeRandom(500, 5.0, 13);
   std::vector<double> values(500, 2.0);

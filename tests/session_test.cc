@@ -1,0 +1,358 @@
+// SimulatorSession correctness: the session/determinism contract
+// (docs/SESSIONS.md).
+//
+//  (a) Fresh-construction QueryEngine::Run and session-reusing Run produce
+//      field-for-field identical QueryResults across a 34-case
+//      (spec, config, hq) fingerprint matrix covering every protocol, both
+//      combiner families, churn, option ablations, and both media — with
+//      every session case running on a simulator warmed (and dirtied) by
+//      all previous cases.
+//  (b) Concurrent queries sharing one session each match their solo runs
+//      bit-for-bit, including their per-lane cost metrics.
+//  (c) ResidentStateBytes returns to a touched-proportional baseline after
+//      a session reset (epoch reuse does not accumulate resident state).
+//  Plus simulator-level reset coverage: failures, runtime joins, and
+//  pending events are all rewound in O(touched).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.h"
+#include "sim/session.h"
+#include "topology/generators.h"
+
+namespace validity::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+struct Case {
+  const char* label;
+  QuerySpec spec;
+  RunConfig config;
+  HostId hq = 0;
+};
+
+/// The 34-case (spec, config, hq) matrix: every protocol, exact and FM
+/// combiners, all five aggregates, churn, the WILDFIRE option ablations,
+/// report routing, DAG fan-in, tree pacing, and the wireless medium.
+std::vector<Case> FingerprintMatrix() {
+  std::vector<Case> cases;
+  auto add = [&cases](const char* label, ProtocolKind kind,
+                      AggregateKind agg, bool exact, uint32_t removals,
+                      HostId hq) {
+    Case c;
+    c.label = label;
+    c.spec.aggregate = agg;
+    c.spec.exact_combiners = exact;
+    c.config.protocol = kind;
+    c.config.churn_removals = removals;
+    c.hq = hq;
+    cases.push_back(c);
+  };
+
+  // Every protocol: failure-free count, exact and FM combiners. (10)
+  for (auto kind :
+       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
+        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
+        ProtocolKind::kWildfire}) {
+    add("count-exact", kind, AggregateKind::kCount, true, 0, 0);
+    add("count-fm", kind, AggregateKind::kCount, false, 0, 0);
+  }
+  // Every protocol under churn. (5)
+  for (auto kind :
+       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
+        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
+        ProtocolKind::kWildfire}) {
+    add("count-churn", kind, AggregateKind::kCount, true, 100, 0);
+  }
+  // WILDFIRE across the aggregate vocabulary (min/max ride inline). (4)
+  add("wf-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false, 0, 0);
+  add("wf-min", ProtocolKind::kWildfire, AggregateKind::kMin, false, 0, 0);
+  add("wf-max", ProtocolKind::kWildfire, AggregateKind::kMax, false, 0, 0);
+  add("wf-avg", ProtocolKind::kWildfire, AggregateKind::kAverage, false, 0, 0);
+  // DAG and SPANNINGTREE aggregate coverage. (4)
+  add("dag-sum", ProtocolKind::kDag, AggregateKind::kSum, false, 0, 0);
+  add("dag-min", ProtocolKind::kDag, AggregateKind::kMin, true, 0, 0);
+  add("tree-sum", ProtocolKind::kSpanningTree, AggregateKind::kSum, true, 0,
+      0);
+  add("tree-avg", ProtocolKind::kSpanningTree, AggregateKind::kAverage, true,
+      0, 0);
+  // ALL-REPORT sum + reverse-path routing under churn. (2)
+  add("ar-sum", ProtocolKind::kAllReport, AggregateKind::kSum, true, 0, 0);
+  add("ar-reverse", ProtocolKind::kAllReport, AggregateKind::kCount, true, 60,
+      0);
+  cases.back().config.protocol_options.all_report.routing =
+      protocols::ReportRouting::kReversePath;
+  // WILDFIRE option ablations. (3)
+  add("wf-no-piggyback", ProtocolKind::kWildfire, AggregateKind::kCount,
+      false, 0, 0);
+  cases.back().config.protocol_options.wildfire.piggyback_broadcast = false;
+  add("wf-no-early-term", ProtocolKind::kWildfire, AggregateKind::kCount,
+      false, 50, 0);
+  cases.back().config.protocol_options.wildfire.early_termination = false;
+  add("wf-no-coalesce", ProtocolKind::kWildfire, AggregateKind::kCount, false,
+      0, 0);
+  cases.back().config.protocol_options.wildfire.coalesce_floods = false;
+  // DAG k=3 and eager tree pacing. (2)
+  add("dag-k3", ProtocolKind::kDag, AggregateKind::kCount, true, 80, 0);
+  cases.back().config.protocol_options.dag.max_parents = 3;
+  add("tree-eager", ProtocolKind::kSpanningTree, AggregateKind::kCount, true,
+      80, 0);
+  cases.back().config.protocol_options.spanning_tree.pacing =
+      protocols::TreePacing::kEager;
+  // Wireless medium. (1)
+  add("wf-wireless", ProtocolKind::kWildfire, AggregateKind::kCount, false, 0,
+      0);
+  cases.back().config.sim_options.medium = sim::MediumKind::kWireless;
+  // Churned FM sum + distinct seeds. (1)
+  add("wf-churn-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false,
+      150, 0);
+  cases.back().config.churn_seed = 77;
+  cases.back().config.sketch_seed = 78;
+  // Randomized sum under churn. (1)
+  add("rr-churn-sum", ProtocolKind::kRandomizedReport, AggregateKind::kSum,
+      false, 90, 0);
+  // A different querying host. (1)
+  add("wf-hq7", ProtocolKind::kWildfire, AggregateKind::kCount, false, 40, 7);
+  return cases;
+}
+
+void ExpectIdentical(const QueryResult& a, const QueryResult& b,
+                     const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.declared, b.declared);
+  EXPECT_EQ(a.d_hat_used, b.d_hat_used);
+  EXPECT_EQ(a.exact_full, b.exact_full);
+  EXPECT_EQ(a.cost.messages, b.cost.messages);
+  EXPECT_EQ(a.cost.bytes, b.cost.bytes);
+  EXPECT_EQ(a.cost.max_processed, b.cost.max_processed);
+  EXPECT_EQ(a.cost.declared_at, b.cost.declared_at);
+  EXPECT_EQ(a.cost.last_update_at, b.cost.last_update_at);
+  EXPECT_EQ(a.cost.sends_per_tick, b.cost.sends_per_tick);
+  EXPECT_EQ(a.cost.computation_histogram.Items(),
+            b.cost.computation_histogram.Items());
+  EXPECT_EQ(a.validity.q_low, b.validity.q_low);
+  EXPECT_EQ(a.validity.q_high, b.validity.q_high);
+  EXPECT_EQ(a.validity.hc_size, b.validity.hc_size);
+  EXPECT_EQ(a.validity.hu_size, b.validity.hu_size);
+  EXPECT_EQ(a.validity.within, b.validity.within);
+  EXPECT_EQ(a.validity.within_slack, b.validity.within_slack);
+  EXPECT_EQ(a.resident_state_bytes, b.resident_state_bytes);
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : graph_(*topology::MakeGnutellaLike(500, 91)),
+        engine_(&graph_, MakeZipfValues(500, 91)) {}
+
+  topology::Graph graph_;
+  QueryEngine engine_;
+};
+
+TEST_F(SessionTest, FreshAndReusedRunsAreBitIdenticalAcrossTheMatrix) {
+  std::vector<Case> cases = FingerprintMatrix();
+  ASSERT_EQ(cases.size(), 34u);
+  // One session per structural sim-option set (here: per medium), so every
+  // case after the first runs on a simulator the previous cases dirtied.
+  std::map<int, std::unique_ptr<sim::SimulatorSession>> sessions;
+  for (const Case& c : cases) {
+    auto fresh = engine_.Run(c.spec, c.config, c.hq);
+    ASSERT_TRUE(fresh.ok()) << c.label;
+    auto& session = sessions[static_cast<int>(c.config.sim_options.medium)];
+    if (session == nullptr) {
+      session = std::make_unique<sim::SimulatorSession>(&graph_,
+                                                        c.config.sim_options);
+    }
+    auto reused = engine_.Run(session.get(), c.spec, c.config, c.hq);
+    ASSERT_TRUE(reused.ok()) << c.label;
+    ExpectIdentical(*fresh, *reused, c.label);
+  }
+  // The point-to-point session served the bulk of the matrix on one
+  // simulator build.
+  EXPECT_GT(sessions[0]->epoch(), 25u);
+}
+
+TEST_F(SessionTest, ConcurrentQueriesMatchTheirSoloRuns) {
+  // Two protocols, two aggregates, two querying hosts — one shared,
+  // failure-free timeline.
+  std::vector<QueryEngine::ConcurrentQuery> queries(3);
+  queries[0].spec.aggregate = AggregateKind::kCount;
+  queries[0].config.protocol = ProtocolKind::kWildfire;
+  queries[0].hq = 0;
+  queries[1].spec.aggregate = AggregateKind::kSum;
+  queries[1].spec.exact_combiners = true;
+  queries[1].config.protocol = ProtocolKind::kSpanningTree;
+  queries[1].hq = 13;
+  queries[2].spec.aggregate = AggregateKind::kMax;
+  queries[2].config.protocol = ProtocolKind::kWildfire;
+  queries[2].config.sketch_seed = 5;
+  queries[2].hq = 42;
+
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  auto concurrent = engine_.RunConcurrent(&session, queries);
+  ASSERT_TRUE(concurrent.ok());
+  ASSERT_EQ(concurrent->size(), 3u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = engine_.Run(queries[i].spec, queries[i].config, queries[i].hq);
+    ASSERT_TRUE(solo.ok());
+    ExpectIdentical(*solo, (*concurrent)[i], "concurrent-vs-solo");
+  }
+}
+
+TEST_F(SessionTest, ChurnedConcurrentQueriesMatchTheirSoloRuns) {
+  // Same hq and D-hat (required: the churn window and the protected host
+  // derive from them), different protocols and sketch seeds.
+  std::vector<QueryEngine::ConcurrentQuery> queries(2);
+  for (auto& q : queries) {
+    q.spec.aggregate = AggregateKind::kCount;
+    q.config.churn_removals = 120;
+    q.config.churn_seed = 9;
+    q.hq = 0;
+  }
+  queries[0].config.protocol = ProtocolKind::kWildfire;
+  queries[0].config.sketch_seed = 21;
+  queries[1].config.protocol = ProtocolKind::kDag;
+  queries[1].config.sketch_seed = 22;
+
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  auto concurrent = engine_.RunConcurrent(&session, queries);
+  ASSERT_TRUE(concurrent.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = engine_.Run(queries[i].spec, queries[i].config, queries[i].hq);
+    ASSERT_TRUE(solo.ok());
+    ExpectIdentical(*solo, (*concurrent)[i], "churned-concurrent-vs-solo");
+  }
+}
+
+TEST_F(SessionTest, ConcurrentRequiresASharedTimeline) {
+  std::vector<QueryEngine::ConcurrentQuery> queries(2);
+  queries[0].config.churn_removals = 50;
+  queries[1].config.churn_removals = 60;  // different schedule: rejected
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  EXPECT_EQ(engine_.RunConcurrent(&session, queries).status().code(),
+            StatusCode::kInvalidArgument);
+  // Different hq under churn: the protected host would differ.
+  queries[1].config.churn_removals = 50;
+  queries[1].hq = 3;
+  EXPECT_EQ(engine_.RunConcurrent(&session, queries).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, SessionRejectsMismatchedGraphAndOptions) {
+  topology::Graph other = *topology::MakeGnutellaLike(200, 17);
+  sim::SimulatorSession wrong_graph(&other, sim::SimOptions{});
+  EXPECT_EQ(engine_.Run(&wrong_graph, QuerySpec{}, RunConfig{}, 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  RunConfig wireless;
+  wireless.sim_options.medium = sim::MediumKind::kWireless;
+  EXPECT_EQ(engine_.Run(&session, QuerySpec{}, wireless, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // Invalid queries are rejected without corrupting the session.
+  EXPECT_EQ(engine_.Run(&session, QuerySpec{}, RunConfig{}, 5000)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  auto ok = engine_.Run(&session, QuerySpec{}, RunConfig{}, 0);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(SessionResidencyTest, ResidentStateReturnsToBaselineAfterReset) {
+  // A grid, where a small disc occupies few 256-id pages (row-major ids):
+  // page-granular residency needs id locality the Gnutella graph's random
+  // ids cannot give.
+  topology::Graph grid = *topology::MakeGrid(100);  // 10^4 hosts
+  QueryEngine engine(&grid, std::vector<double>(grid.num_hosts(), 1.0));
+  const HostId hq = 50 * 100 + 50;
+
+  QuerySpec wide;  // default D-hat: the flood covers the whole grid
+  QuerySpec narrow;
+  narrow.d_hat = 2.0;  // the flood only reaches hq's neighborhood
+  sim::SimulatorSession session(&grid, sim::SimOptions{});
+
+  auto first = engine.Run(&session, wide, RunConfig{}, hq);
+  ASSERT_TRUE(first.ok());
+  auto warm_narrow = engine.Run(&session, narrow, RunConfig{}, hq);
+  ASSERT_TRUE(warm_narrow.ok());
+  auto fresh_narrow = engine.Run(narrow, RunConfig{}, hq);
+  ASSERT_TRUE(fresh_narrow.ok());
+
+  // The narrow query's resident state must reflect what *it* touched, not
+  // what the wide query before it touched — and must equal the fresh run's.
+  EXPECT_EQ(warm_narrow->resident_state_bytes,
+            fresh_narrow->resident_state_bytes);
+  EXPECT_LT(warm_narrow->resident_state_bytes,
+            first->resident_state_bytes / 4);
+}
+
+TEST(SimulatorResetTest, RewindsFailuresJoinsAndPendingEvents) {
+  topology::Graph g = *topology::MakeRandom(300, 4.0, 5);
+  sim::Simulator sim(g, sim::SimOptions{});
+
+  // A well-connected host to exercise fan-out and the reverse-slot index.
+  HostId hub = 0;
+  for (HostId h = 0; h < 300; ++h) {
+    if (g.Neighbors(h).size() > g.Neighbors(hub).size()) hub = h;
+  }
+  ASSERT_GE(g.Neighbors(hub).size(), 2u);
+  HostId hub_nb = g.Neighbors(hub)[1];
+
+  // Dirty everything resettable: failures, a runtime join, pending events.
+  sim.FailHost(3);
+  sim.FailHost(250);
+  auto joined = sim.AddHost({hub});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(sim.num_hosts(), 301u);
+  uint32_t slot_before = sim.NeighborSlotOf(hub, hub_nb);
+  sim.ScheduleFailure(5.0, 7);
+  sim::Message msg;
+  msg.kind = 1;
+  sim.SendToNeighbors(hub, msg);
+  sim.RunUntil(0.5);
+  EXPECT_GT(sim.metrics().messages_sent(), 0u);
+
+  sim.Reset();
+
+  EXPECT_EQ(sim.num_hosts(), 300u);
+  EXPECT_EQ(sim.alive_count(), 300u);
+  EXPECT_TRUE(sim.IsAlive(3));
+  EXPECT_TRUE(sim.IsAlive(250));
+  EXPECT_TRUE(sim.IsAlive(7));
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.metrics().messages_sent(), 0u);
+  EXPECT_EQ(sim.metrics().MaxProcessed(), 0u);
+  // Adjacency is back to the base graph: the joined host's reverse edges
+  // are gone and the reverse-slot lookup still answers correctly.
+  EXPECT_EQ(sim.NeighborsOf(hub).size(), g.Neighbors(hub).size());
+  EXPECT_EQ(sim.NeighborSlotOf(hub, hub_nb), slot_before);
+  // The pending failure at t=5 was discarded with the queue.
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(sim.IsAlive(7));
+
+  // The reset simulator behaves exactly like a fresh one.
+  sim::Simulator fresh(g, sim::SimOptions{});
+  sim::Message again;
+  again.kind = 1;
+  fresh.SendToNeighbors(hub, again);
+  fresh.Run();
+  sim::Message replay;
+  replay.kind = 1;
+  sim.SendToNeighbors(hub, replay);
+  sim.Run();
+  EXPECT_EQ(sim.metrics().messages_sent(), fresh.metrics().messages_sent());
+  EXPECT_EQ(sim.metrics().messages_delivered(),
+            fresh.metrics().messages_delivered());
+}
+
+}  // namespace
+}  // namespace validity::core

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo's docs resolve.
+
+Scans every tracked-looking *.md file (repo root, docs/, bench/, examples/)
+for [text](target) links and verifies that relative targets exist on disk.
+External links (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a target's #fragment is stripped before the existence check.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link). No dependencies beyond the standard library, so CI and developers
+run it the same way:
+
+    python3 tools/check_markdown_links.py
+"""
+
+import os
+import re
+import sys
+
+# [text](target) with no nested parens in the target; images share the form.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SCAN_DIRS = [".", "docs", "bench", "examples", ".github"]
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def find_markdown_files(root):
+    seen = set()
+    for rel in SCAN_DIRS:
+        base = os.path.join(root, rel)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [
+                d for d in dirnames
+                if not d.startswith(".") and d not in {"build", "build-bench",
+                                                       "build-review"}
+            ]
+            for name in filenames:
+                if name.endswith(".md"):
+                    path = os.path.normpath(os.path.join(dirpath, name))
+                    if path not in seen:
+                        seen.add(path)
+                        yield path
+
+
+def check_file(path, root):
+    broken = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            # Fenced code blocks quote code verbatim (snippets, shell
+            # output); whatever looks like a link there is not one.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                if target_path.startswith("/"):
+                    resolved = os.path.join(root, target_path.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target_path)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    total_links_broken = 0
+    files = 0
+    for path in find_markdown_files(root):
+        files += 1
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            total_links_broken += 1
+    if total_links_broken:
+        print(f"{total_links_broken} broken link(s)")
+        return 1
+    print(f"ok: all relative links resolve across {files} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
