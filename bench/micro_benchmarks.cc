@@ -55,8 +55,23 @@ void BM_FmMergeOr(benchmark::State& state) {
   sketch::FmSketch b =
       sketch::FmSketch::ForMagnitude(sketch::FmParams{16}, 2000, &rng);
   for (auto _ : state) benchmark::DoNotOptimize(a.MergeOr(b));
+  state.SetLabel(sketch::ActiveSketchKernel());
 }
 BENCHMARK(BM_FmMergeOr);
+
+void BM_FmMergeOrScalar(benchmark::State& state) {
+  // The portable word loop, pinned: the gap to BM_FmMergeOr is the SIMD
+  // kernel's win on this machine (zero on hardware without AVX2).
+  Rng rng(1);
+  sketch::FmSketch a =
+      sketch::FmSketch::ForMagnitude(sketch::FmParams{16}, 1000, &rng);
+  sketch::FmSketch b =
+      sketch::FmSketch::ForMagnitude(sketch::FmParams{16}, 2000, &rng);
+  sketch::ForceScalarSketchKernels(true);
+  for (auto _ : state) benchmark::DoNotOptimize(a.MergeOr(b));
+  sketch::ForceScalarSketchKernels(false);
+}
+BENCHMARK(BM_FmMergeOrScalar);
 
 void BM_CombinerCombineFm(benchmark::State& state) {
   Rng rng(1);
@@ -236,14 +251,16 @@ void BM_WildfireDenseCountQuery(benchmark::State& state) {
 BENCHMARK(BM_WildfireDenseCountQuery)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_MillionHostActivation(benchmark::State& state) {
-  // The paged-state scenario: a COUNT query whose broadcast disc touches a
-  // small fraction of a large wireless grid. Arg = D-hat (disc radius is
-  // 2 * D-hat hops). Per-host protocol state materializes lazily, so the
-  // protocol-side cost scales with the disc, not the grid.
+  // The cold-start scenario: construction + first COUNT query, where the
+  // broadcast disc touches a small fraction of a large wireless grid.
+  // Arg = D-hat (disc radius is 2 * D-hat hops). The grid is implicit —
+  // neighbors are served arithmetically and liveness/metrics pages
+  // materialize on first touch — so the *whole* cold path (simulator build
+  // included) scales with the disc, not the grid.
   constexpr uint32_t kSide = 1000;  // 10^6 hosts
-  static auto grid = topology::MakeGrid(kSide);
-  static std::vector<double> values(grid->num_hosts(), 1.0);
-  core::QueryEngine engine(&*grid, values);
+  topology::Topology grid = *topology::Topology::Grid(kSide);
+  static std::vector<double> values(grid.num_hosts(), 1.0);
+  core::QueryEngine engine(grid, values);
   core::QuerySpec spec;
   spec.aggregate = AggregateKind::kCount;
   spec.fm_vectors = 16;
@@ -263,6 +280,30 @@ void BM_MillionHostActivation(benchmark::State& state) {
 }
 BENCHMARK(BM_MillionHostActivation)
     ->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_MillionHostActivationCsr(benchmark::State& state) {
+  // The same cold query over a materialized graph: every iteration pays the
+  // O(n) CSR + table build the implicit path eliminates. The gap to
+  // BM_MillionHostActivation is the price of materialization.
+  constexpr uint32_t kSide = 1000;
+  static auto grid = topology::MakeGrid(kSide);
+  static std::vector<double> values(grid->num_hosts(), 1.0);
+  core::QueryEngine engine(&*grid, values);
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  spec.d_hat = static_cast<double>(state.range(0));
+  core::RunConfig config;
+  config.sim_options.medium = sim::MediumKind::kWireless;
+  config.compute_validity = false;
+  const HostId hq = (kSide / 2) * kSide + kSide / 2;
+  for (auto _ : state) {
+    auto result = engine.Run(spec, config, hq);
+    benchmark::DoNotOptimize(result->value);
+  }
+}
+BENCHMARK(BM_MillionHostActivationCsr)
+    ->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_SessionReuse(benchmark::State& state) {
   // Same query as BM_WildfireCountQuery, but on a SimulatorSession: the
@@ -288,14 +329,15 @@ BENCHMARK(BM_SessionReuse)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_MillionHostSecondQuery(benchmark::State& state) {
   // The session payoff at scale: BM_MillionHostActivation measures the
-  // *cold* path (every query pays the O(n) CSR/liveness build); here the
-  // 10^6-host simulator is cached in a session and warmed by one query, so
-  // every measured iteration is the *second* query — epoch reset plus
-  // disc-proportional work. Arg = D-hat (disc radius is 2 * D-hat hops).
+  // *cold* path; here the 10^6-host simulator is cached in a session and
+  // warmed by one query, so every measured iteration is the *second*
+  // query — epoch reset plus disc-proportional work. With the implicit
+  // grid the cold and warm paths now differ only by the warm pages and
+  // pools. Arg = D-hat (disc radius is 2 * D-hat hops).
   constexpr uint32_t kSide = 1000;  // 10^6 hosts
-  static auto grid = topology::MakeGrid(kSide);
-  static std::vector<double> values(grid->num_hosts(), 1.0);
-  core::QueryEngine engine(&*grid, values);
+  topology::Topology grid = *topology::Topology::Grid(kSide);
+  static std::vector<double> values(grid.num_hosts(), 1.0);
+  core::QueryEngine engine(grid, values);
   core::QuerySpec spec;
   spec.aggregate = AggregateKind::kCount;
   spec.fm_vectors = 16;
@@ -304,7 +346,7 @@ void BM_MillionHostSecondQuery(benchmark::State& state) {
   config.sim_options.medium = sim::MediumKind::kWireless;
   config.compute_validity = false;
   const HostId hq = (kSide / 2) * kSide + kSide / 2;
-  sim::SimulatorSession session(&*grid, config.sim_options);
+  sim::SimulatorSession session(grid, config.sim_options);
   {
     auto warm = engine.Run(&session, spec, config, hq);  // first query: cold
     benchmark::DoNotOptimize(warm->value);

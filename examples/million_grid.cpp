@@ -1,13 +1,21 @@
 // Million-host wireless grid: the ROADMAP's 10^6-host scenario, runnable on
-// a laptop because per-host protocol state is paged lazily.
+// a laptop because *everything* per-host is demand-driven.
 //
 // A 1000 x 1000 sensor grid is queried for COUNT from its center with a
 // deliberately small D-hat: the broadcast disc covers only the hosts within
 // 2 * D-hat hops of the querying mote, a few percent of the million-host
-// field. The run demonstrates — and checks, exiting non-zero on violation —
-// the paging contract: resident protocol state is proportional to the
-// ACTIVATED hosts, not to the million-host network. A fully-covered small
-// grid provides the per-host state yardstick for that check.
+// field. The grid is an implicit topology (topology::Topology::Grid):
+// neighbors are computed arithmetically, liveness and metrics pages
+// materialize on first touch, and protocol state is paged — so the cold
+// path (simulator construction included) is proportional to the disc.
+//
+// The run demonstrates — and checks, exiting non-zero on violation — two
+// contracts:
+//  1. protocol-state paging: resident protocol state tracks the ACTIVATED
+//     hosts, not the network (a fully-covered small grid is the yardstick);
+//  2. simulator-table paging: the implicit simulator's resident tables are
+//     >= 5x smaller than the same query over a materialized CSR
+//     (SimOptions::materialize_adjacency re-creates the old eager layout).
 //
 // Validity/oracle ground-truth passes are O(network); the big run turns
 // them off (RunConfig::compute_validity = false) so the query's cost tracks
@@ -17,25 +25,38 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "sim/session.h"
 #include "topology/generators.h"
+#include "topology/topology.h"
 
 namespace {
 
-validity::core::QueryResult RunCountQuery(const validity::topology::Graph& g,
-                                          validity::HostId hq, double d_hat) {
+struct RunOutcome {
+  validity::core::QueryResult result;
+  size_t simulator_table_bytes = 0;
+};
+
+RunOutcome RunCountQuery(const validity::topology::Topology& topo,
+                         validity::HostId hq, double d_hat,
+                         bool materialize_adjacency) {
   using namespace validity;
-  std::vector<double> values(g.num_hosts(), 1.0);  // presence count
-  core::QueryEngine engine(&g, std::move(values));
+  std::vector<double> values(topo.num_hosts(), 1.0);  // presence count
+  core::QueryEngine engine(topo, std::move(values));
   core::QuerySpec spec;
   spec.aggregate = AggregateKind::kCount;
   spec.fm_vectors = 16;
   spec.d_hat = d_hat;
   core::RunConfig config;
   config.sim_options.medium = sim::MediumKind::kWireless;
+  config.sim_options.materialize_adjacency = materialize_adjacency;
   config.compute_validity = false;  // skip the O(network) oracle pass
-  auto result = engine.Run(spec, config, hq);
+  // Run on a session so the simulator outlives the query and its resident
+  // tables can be inspected.
+  sim::SimulatorSession session(topo, config.sim_options);
+  auto result = engine.Run(&session, spec, config, hq);
   VALIDITY_CHECK(result.ok(), "%s", result.status().ToString().c_str());
-  return *std::move(result);
+  return RunOutcome{*std::move(result),
+                    session.simulator().ResidentTableBytes()};
 }
 
 }  // namespace
@@ -45,29 +66,27 @@ int main() {
 
   constexpr uint32_t kSide = 1000;  // 10^6 hosts
   constexpr double kDhat = 40;      // broadcast disc radius: 2 * D-hat hops
-  auto grid = topology::MakeGrid(kSide);
-  if (!grid.ok()) {
-    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
-    return 1;
-  }
-  const uint32_t n = grid->num_hosts();
+  topology::Topology grid = *topology::Topology::Grid(kSide);
+  const uint32_t n = grid.num_hosts();
   const HostId hq = (kSide / 2) * kSide + kSide / 2;  // center mote
 
   // Yardstick: a small grid whose query disc covers EVERY host gives the
   // per-host cost of fully-materialized protocol state.
   constexpr uint32_t kControlSide = 64;
-  auto control_grid = topology::MakeGrid(kControlSide);
-  VALIDITY_CHECK(control_grid.ok(), "control grid");
-  auto control = RunCountQuery(*control_grid, /*hq=*/0,
-                               /*d_hat=*/2.0 * kControlSide);
+  topology::Topology control_grid = *topology::Topology::Grid(kControlSide);
+  auto control = RunCountQuery(control_grid, /*hq=*/0,
+                               /*d_hat=*/2.0 * kControlSide,
+                               /*materialize_adjacency=*/false);
   const double bytes_per_active_host =
-      static_cast<double>(control.resident_state_bytes) /
-      control_grid->num_hosts();
+      static_cast<double>(control.result.resident_state_bytes) /
+      control_grid.num_hosts();
 
-  std::printf("wireless grid: %u x %u = %u hosts, COUNT at the center, "
-              "D-hat = %.0f\n", kSide, kSide, n, kDhat);
+  std::printf("wireless grid: %u x %u = %u hosts (implicit topology), COUNT "
+              "at the center, D-hat = %.0f\n", kSide, kSide, n, kDhat);
 
-  auto result = RunCountQuery(*grid, hq, kDhat);
+  auto implicit_run = RunCountQuery(grid, hq, kDhat,
+                                    /*materialize_adjacency=*/false);
+  const core::QueryResult& result = implicit_run.result;
 
   // The disc the query touched: hosts within 2*D-hat grid hops activate
   // (one hop per delta until the horizon closes).
@@ -85,7 +104,7 @@ int main() {
               static_cast<double>(result.resident_state_bytes) / 1e6,
               eager_bytes / 1e6);
 
-  // --- the paging contract, checked -------------------------------------
+  // --- contract 1: protocol-state paging, checked ------------------------
   // Resident state must be bounded by the touched disc (pages round to
   // 256-host granularity and every grid row of the disc lands on its own
   // page neighborhood, so allow 4x slack) and must be a small fraction of
@@ -103,5 +122,37 @@ int main() {
   }
   std::printf("paging check passed: resident state tracks the %.1f%% disc, "
               "not the %u-host network\n", 100.0 * disc_hosts / n, n);
+
+  // --- contract 2: simulator tables are disc-proportional too ------------
+  // Same query, same engine semantics, but with the adjacency materialized
+  // into a CSR — the pre-implicit world. The implicit simulator's tables
+  // must come in at least 5x smaller.
+  auto csr_run = RunCountQuery(grid, hq, kDhat,
+                               /*materialize_adjacency=*/true);
+  const double table_ratio =
+      static_cast<double>(csr_run.simulator_table_bytes) /
+      static_cast<double>(implicit_run.simulator_table_bytes);
+  std::printf("\nsimulator tables: %.2f MB implicit vs %.2f MB materialized "
+              "CSR (%.1fx)\n",
+              static_cast<double>(implicit_run.simulator_table_bytes) / 1e6,
+              static_cast<double>(csr_run.simulator_table_bytes) / 1e6,
+              table_ratio);
+  if (csr_run.result.value != result.value ||
+      csr_run.result.cost.messages != result.cost.messages) {
+    std::fprintf(stderr, "DETERMINISM VIOLATION: implicit and materialized "
+                 "runs disagree\n");
+    return 1;
+  }
+  if (table_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "TABLE VIOLATION: implicit simulator tables %zu bytes are "
+                 "only %.1fx smaller than the %zu-byte CSR layout "
+                 "(need >= 5x)\n",
+                 implicit_run.simulator_table_bytes, table_ratio,
+                 csr_run.simulator_table_bytes);
+    return 1;
+  }
+  std::printf("table check passed: implicit simulator tables are %.1fx "
+              "smaller than the materialized layout\n", table_ratio);
   return 0;
 }

@@ -53,6 +53,37 @@ double ExactAggregate(AggregateKind kind, const std::vector<double>& values,
   return 0.0;
 }
 
+double ExactAggregateOverAll(AggregateKind kind,
+                             const std::vector<double>& values,
+                             uint32_t num_hosts) {
+  VALIDITY_CHECK(values.size() >= num_hosts, "values must cover all hosts");
+  if (num_hosts == 0) return 0.0;
+  switch (kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(num_hosts);
+    case AggregateKind::kMin: {
+      double best = values[0];
+      for (HostId h = 1; h < num_hosts; ++h) best = std::min(best, values[h]);
+      return best;
+    }
+    case AggregateKind::kMax: {
+      double best = values[0];
+      for (HostId h = 1; h < num_hosts; ++h) best = std::max(best, values[h]);
+      return best;
+    }
+    case AggregateKind::kSum:
+    case AggregateKind::kAverage: {
+      double total = 0.0;
+      for (HostId h = 0; h < num_hosts; ++h) total += values[h];
+      return kind == AggregateKind::kSum
+                 ? total
+                 : total / static_cast<double>(num_hosts);
+    }
+  }
+  VALIDITY_CHECK(false, "unknown aggregate kind");
+  return 0.0;
+}
+
 bool IsDuplicateSensitive(AggregateKind kind) {
   return kind == AggregateKind::kCount || kind == AggregateKind::kSum ||
          kind == AggregateKind::kAverage;

@@ -25,6 +25,12 @@ const char* AggregateKindName(AggregateKind kind);
 double ExactAggregate(AggregateKind kind, const std::vector<double>& values,
                       const std::vector<HostId>& members);
 
+/// ExactAggregate over the member set {0, ..., num_hosts - 1} without
+/// materializing it (the ground-truth pass over a whole network).
+double ExactAggregateOverAll(AggregateKind kind,
+                             const std::vector<double>& values,
+                             uint32_t num_hosts);
+
 /// True for aggregates where combining duplicate contributions changes the
 /// result (count/sum/avg); min/max are naturally duplicate-insensitive.
 bool IsDuplicateSensitive(AggregateKind kind);

@@ -1,13 +1,18 @@
 // Lazily-paged per-host state with epoch-based O(1) reset.
 //
-// Used by every protocol for its per-host records and by the simulator for
-// its reverse neighbor-slot index. Every protocol keeps one state record
-// per host. Allocating that eagerly
-// (states_.assign(num_hosts, {})) makes query cost proportional to the
-// *network* size, not the *touched* size — the blocker for million-host
-// scenarios where a query's broadcast disc covers a few percent of the
-// graph. PagedStates allocates fixed-size pages on first touch instead: a
-// query that activates 1% of a 10M-host graph pays (roughly) for 1%.
+// The backbone of the library's O(touched) memory model (see the
+// memory-model section of docs/ARCHITECTURE.md): every protocol keeps its
+// per-host records here, and the simulator uses it for its own per-host
+// tables — liveness (failure/join times), metrics tallies, the reverse
+// neighbor-slot index, and runtime-join overflow edges. Allocating any of
+// those eagerly (states_.assign(num_hosts, {})) makes query cost
+// proportional to the *network* size, not the *touched* size — the blocker
+// for million-host scenarios where a query's broadcast disc covers a few
+// percent of the graph. PagedStates allocates fixed-size pages on first
+// touch instead: a query that activates 1% of a 10M-host graph pays
+// (roughly) for 1%. Records whose value-initialized state is meaningful
+// ("alive since 0, never failed", count 0) get their implicit default for
+// free — Find() returning nullptr *is* the default.
 //
 // Reset() starts a new *epoch* rather than freeing pages: each page carries
 // the epoch that last initialized it, so after a Reset every page reads as

@@ -12,30 +12,39 @@ namespace validity::core {
 
 QueryEngine::QueryEngine(const topology::Graph* graph,
                          std::vector<double> values)
-    : graph_(graph), values_(std::move(values)) {
-  VALIDITY_CHECK(graph_ != nullptr);
-  VALIDITY_CHECK(values_.size() >= graph_->num_hosts(),
+    : QueryEngine(topology::Topology::FromGraph(graph), std::move(values)) {}
+
+QueryEngine::QueryEngine(topology::Topology topology,
+                         std::vector<double> values)
+    : topo_(topology), values_(std::move(values)) {
+  VALIDITY_CHECK(values_.size() >= topo_.num_hosts(),
                  "need one value per host (%zu < %u)", values_.size(),
-                 graph_->num_hosts());
+                 topo_.num_hosts());
 }
 
 uint32_t QueryEngine::EstimatedDiameter() const {
   std::call_once(diameter_once_, [this] {
-    Rng rng(0xd1a4e7e5u);
-    cached_diameter_ = topology::EstimateDiameter(*graph_, /*sweeps=*/4, &rng);
+    if (topo_.implicit()) {
+      // Regular shapes know their diameter exactly; no sweeps, no O(n).
+      cached_diameter_ = topo_.ImplicitDiameter();
+    } else {
+      Rng rng(0xd1a4e7e5u);
+      cached_diameter_ =
+          topology::EstimateDiameter(*topo_.graph(), /*sweeps=*/4, &rng);
+    }
   });
   return cached_diameter_;
 }
 
 Status QueryEngine::PlanRun(const QuerySpec& spec, const RunConfig& config,
                             HostId hq, RunPlan* plan) const {
-  if (hq >= graph_->num_hosts()) {
+  if (hq >= topo_.num_hosts()) {
     return Status::OutOfRange("querying host out of range");
   }
   if (spec.fm_vectors == 0) {
     return Status::InvalidArgument("fm_vectors must be >= 1");
   }
-  if (config.churn_removals >= graph_->num_hosts()) {
+  if (config.churn_removals >= topo_.num_hosts()) {
     return Status::InvalidArgument("cannot remove every host");
   }
   if (config.protocol == protocols::ProtocolKind::kRandomizedReport &&
@@ -70,7 +79,7 @@ Status QueryEngine::PlanRun(const QuerySpec& spec, const RunConfig& config,
       plan->protocol_options.randomized;
   if (config.protocol == protocols::ProtocolKind::kRandomizedReport &&
       randomized.p_override == 0.0 && randomized.n_estimate <= 1.0) {
-    randomized.n_estimate = static_cast<double>(graph_->num_hosts());
+    randomized.n_estimate = static_cast<double>(topo_.num_hosts());
   }
   return Status::Ok();
 }
@@ -82,7 +91,7 @@ void QueryEngine::ScheduleConfiguredChurn(sim::Simulator* simulator,
   SimTime horizon = 2.0 * d_hat * simulator->options().delta;
   Rng churn_rng(config.churn_seed);
   auto events = sim::MakeUniformChurn(
-      graph_->num_hosts(), hq, config.churn_removals,
+      topo_.num_hosts(), hq, config.churn_removals,
       config.churn_start_frac * horizon, config.churn_end_frac * horizon,
       &churn_rng);
   sim::ScheduleChurn(simulator, events);
@@ -93,7 +102,7 @@ QueryResult QueryEngine::HarvestResult(const sim::Simulator& simulator,
                                        const protocols::ProtocolBase& protocol,
                                        const QuerySpec& spec,
                                        const RunConfig& config, double d_hat,
-                                       HostId hq) const {
+                                       HostId hq, SimTime start_at) const {
   QueryResult result;
   result.value = protocol.result().value;
   result.declared = protocol.result().declared;
@@ -113,8 +122,8 @@ QueryResult QueryEngine::HarvestResult(const sim::Simulator& simulator,
   if (config.compute_validity) {
     SimTime horizon = 2.0 * d_hat * simulator.options().delta;
     protocols::OracleReport oracle = protocols::ComputeOracle(
-        simulator, hq, /*t_begin=*/0.0, /*t_end=*/horizon, spec.aggregate,
-        values_);
+        simulator, hq, /*t_begin=*/start_at, /*t_end=*/start_at + horizon,
+        spec.aggregate, values_);
     result.validity.q_low = oracle.q_low;
     result.validity.q_high = oracle.q_high;
     result.validity.hc_size = oracle.hc.size();
@@ -124,9 +133,8 @@ QueryResult QueryEngine::HarvestResult(const sim::Simulator& simulator,
         result.declared &&
         oracle.ContainsWithin(result.value, kApproxSlackFactor);
 
-    std::vector<HostId> everyone(graph_->num_hosts());
-    for (HostId h = 0; h < graph_->num_hosts(); ++h) everyone[h] = h;
-    result.exact_full = ExactAggregate(spec.aggregate, values_, everyone);
+    result.exact_full =
+        ExactAggregateOverAll(spec.aggregate, values_, topo_.num_hosts());
   }
   return result;
 }
@@ -141,7 +149,7 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
 
   sim::SimOptions sim_options = config.sim_options;
   sim_options.failure_detection = plan.failure_detection;
-  sim::Simulator simulator(*graph_, sim_options);
+  sim::Simulator simulator(topo_, sim_options);
   ScheduleConfiguredChurn(&simulator, config, plan.d_hat, hq);
 
   std::unique_ptr<protocols::ProtocolBase> protocol = protocols::MakeProtocol(
@@ -156,9 +164,9 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
 
 Status QueryEngine::CheckSession(const sim::SimulatorSession& session,
                                  const RunConfig& config) const {
-  if (&session.graph() != graph_) {
+  if (!session.topology().SameAs(topo_)) {
     return Status::InvalidArgument(
-        "session was built over a different graph than this engine");
+        "session was built over a different topology than this engine");
   }
   const sim::SimOptions& built = session.simulator().options();
   if (built.delta != config.sim_options.delta ||
@@ -231,6 +239,10 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
         !status.ok()) {
       return status;
     }
+    if (!std::isfinite(queries[i].start_at) || queries[i].start_at < 0.0) {
+      return Status::InvalidArgument(
+          "concurrent query start times must be finite and >= 0");
+    }
     if (Status status = PlanRun(queries[i].spec, queries[i].config,
                                 queries[i].hq, &plans[i]);
         !status.ok()) {
@@ -298,10 +310,22 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
   }
 
   simulator.AttachProgram(&session->mux());
-  // All queries start at t=0, in batch order (deterministic: equal-time
-  // events run in schedule order).
+  // Queries at t=0 start immediately, in batch order; staggered queries are
+  // scheduled onto the shared timeline and fire at their start_at, again in
+  // batch order among equals (deterministic: equal-time events run in
+  // schedule order). A staggered protocol anchors its horizon at its own
+  // Start instant, so its behavior matches a solo query issued at that
+  // time.
   for (size_t i = 0; i < lanes.size(); ++i) {
-    lanes[i].protocol->Start(queries[i].hq);
+    if (queries[i].start_at == 0.0) {
+      lanes[i].protocol->Start(queries[i].hq);
+    } else {
+      protocols::ProtocolBase* protocol = lanes[i].protocol.get();
+      simulator.ScheduleAt(queries[i].start_at,
+                           [protocol, hq = queries[i].hq] {
+                             protocol->Start(hq);
+                           });
+    }
   }
   simulator.Run();
 
@@ -311,7 +335,7 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
     results.push_back(HarvestResult(simulator, *lanes[i].metrics,
                                     *lanes[i].protocol, queries[i].spec,
                                     queries[i].config, plans[i].d_hat,
-                                    queries[i].hq));
+                                    queries[i].hq, queries[i].start_at));
   }
 
   simulator.AttachProgram(nullptr);

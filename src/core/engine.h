@@ -22,7 +22,7 @@
 #include "core/query.h"
 #include "protocols/oracle.h"
 #include "sim/session.h"
-#include "topology/graph.h"
+#include "topology/topology.h"
 
 namespace validity::core {
 
@@ -88,6 +88,13 @@ class QueryEngine {
   /// value (see MakeZipfValues for the paper's workload).
   QueryEngine(const topology::Graph* graph, std::vector<double> values);
 
+  /// Engine over any adjacency provider. Implicit topologies
+  /// (topology::Topology::Grid/Ring/Torus) make every simulator this engine
+  /// builds O(touched) end to end: no CSR, no liveness tables, an exact
+  /// O(1) diameter — the default way to run million-host regular networks.
+  /// For kGraph topologies the underlying graph must outlive the engine.
+  QueryEngine(topology::Topology topology, std::vector<double> values);
+
   /// Executes one query. Deterministic in (spec, config, hq), and safe to
   /// call concurrently from multiple threads: each run builds its own
   /// simulator/protocol state, and the engine's only shared mutable state
@@ -116,28 +123,42 @@ class QueryEngine {
     QuerySpec spec;
     RunConfig config;
     HostId hq = 0;
+    /// When this query is issued on the shared timeline. 0 = at the start
+    /// (the classic batch); > 0 staggers the query mid-timeline — the
+    /// continuous-query shape, where new queries arrive while earlier ones
+    /// are still in flight. The query's horizon, deadlines, and validity
+    /// window all anchor at this instant.
+    SimTime start_at = 0.0;
   };
 
-  /// Issues every query at t=0 on one session and runs them in a single
-  /// shared simulated timeline: instance-tagged messages keep the queries'
-  /// traffic apart, and each query gets its own metrics lane, so
-  /// results[i] is bit-identical to running queries[i] alone (the
-  /// session/determinism contract, docs/SESSIONS.md). Because the network
-  /// dynamics are shared, all queries must agree on the structural sim
-  /// options and on the churn schedule: identical churn fields, and — when
-  /// churn is active — identical effective D-hat (the churn window is
-  /// derived from it) and identical querying host (churn protects hq).
-  /// Queries without churn may differ freely in protocol, spec, and hq.
+  /// Issues every query at its start_at on one session and runs them in a
+  /// single shared simulated timeline: instance-tagged messages keep the
+  /// queries' traffic apart, and each query gets its own metrics lane, so
+  /// results[i] is bit-identical to running queries[i] alone at the same
+  /// start time (the session/determinism contract, docs/SESSIONS.md).
+  /// Because the network dynamics are shared, all queries must agree on the
+  /// structural sim options and on the churn schedule: identical churn
+  /// fields, and — when churn is active — identical effective D-hat (the
+  /// churn window is derived from it) and identical querying host (churn
+  /// protects hq). Queries without churn may differ freely in protocol,
+  /// spec, hq, and start time.
   StatusOr<std::vector<QueryResult>> RunConcurrent(
       sim::SimulatorSession* session,
       const std::vector<ConcurrentQuery>& queries) const;
 
-  /// Estimated diameter of the topology (cached; double-sweep heuristic).
+  /// Estimated diameter of the topology (cached). Implicit topologies
+  /// answer exactly in O(1); graphs run the double-sweep heuristic.
   /// Thread-safe: computed at most once under a std::once_flag.
   uint32_t EstimatedDiameter() const;
 
   const std::vector<double>& values() const { return values_; }
-  const topology::Graph& graph() const { return *graph_; }
+  const topology::Topology& topology() const { return topo_; }
+  /// The materialized graph (kGraph topologies only).
+  const topology::Graph& graph() const {
+    VALIDITY_CHECK(topo_.graph() != nullptr,
+                   "engine over an implicit topology has no graph");
+    return *topo_.graph();
+  }
 
  private:
   /// Everything derived from (spec, config, hq) before a run starts.
@@ -167,14 +188,16 @@ class QueryEngine {
       const RunPlan& plan) const;
   /// Collects the §6.3 cost report, validity report, and ground truth after
   /// a completed run. `metrics` is the lane this query's traffic was
-  /// charged to.
+  /// charged to; `start_at` anchors the validity window (staggered
+  /// concurrent queries observe [start_at, start_at + horizon]).
   QueryResult HarvestResult(const sim::Simulator& simulator,
                             const sim::Metrics& metrics,
                             const protocols::ProtocolBase& protocol,
                             const QuerySpec& spec, const RunConfig& config,
-                            double d_hat, HostId hq) const;
+                            double d_hat, HostId hq,
+                            SimTime start_at = 0.0) const;
 
-  const topology::Graph* graph_;
+  topology::Topology topo_;
   std::vector<double> values_;
   mutable std::once_flag diameter_once_;
   mutable uint32_t cached_diameter_ = 0;

@@ -86,7 +86,7 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
     config.sketch_seed = sketch_seed;
     if (sessions[worker] == nullptr) {
       sessions[worker] = std::make_unique<sim::SimulatorSession>(
-          &engine.graph(), options.sim_options);
+          engine.topology(), options.sim_options);
     }
     StatusOr<QueryResult> run =
         engine.Run(sessions[worker].get(), spec, config, hq);

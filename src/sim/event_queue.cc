@@ -217,6 +217,18 @@ void EventQueue::RunAll() {
   }
 }
 
+size_t EventQueue::ResidentBytes() const {
+  size_t bytes = buckets_.capacity() * sizeof(Bucket) +
+                 heap_.capacity() * sizeof(uint32_t) +
+                 map_.capacity() * sizeof(MapCell) +
+                 generic_pool_.capacity() * sizeof(Action) +
+                 generic_free_.capacity() * sizeof(uint32_t);
+  for (const Bucket& bucket : buckets_) {
+    bytes += bucket.events.capacity() * sizeof(Event);
+  }
+  return bytes;
+}
+
 void EventQueue::Clear(const std::function<void(const Event&)>& on_discard) {
   for (uint32_t index : heap_) {
     Bucket& bucket = buckets_[index];

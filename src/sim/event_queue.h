@@ -114,6 +114,10 @@ class EventQueue {
   /// Number of events executed so far.
   uint64_t executed() const { return executed_; }
 
+  /// Bytes of queue storage currently held (bucket event vectors, calendar
+  /// skeleton, closure side table). Feeds Simulator::ResidentTableBytes.
+  size_t ResidentBytes() const;
+
  private:
   static constexpr size_t kHeapArity = 4;
   static constexpr uint32_t kNil = 0xffffffffu;

@@ -25,33 +25,36 @@ void Metrics::RecordSend(SimTime t, size_t bytes) {
 }
 
 void Metrics::RecordProcessed(HostId h, SimTime t) {
-  VALIDITY_DCHECK(h < processed_.size());
-  if (processed_[h]++ == 0) touched_.push_back(h);
+  VALIDITY_DCHECK(h < num_hosts_);
+  uint64_t& count = counts_.Touch(h);
+  if (count++ == 0) touched_.push_back(h);
   ++messages_delivered_;
   last_delivery_time_ = std::max(last_delivery_time_, t);
 }
 
 uint64_t Metrics::MaxProcessed() const {
   uint64_t max_count = 0;
-  for (HostId h : touched_) max_count = std::max(max_count, processed_[h]);
+  for (HostId h : touched_) {
+    max_count = std::max(max_count, *counts_.Find(h));
+  }
   return max_count;
 }
 
 Histogram Metrics::ComputationCostDistribution() const {
   Histogram h;
-  int64_t zeros = static_cast<int64_t>(processed_.size()) -
+  int64_t zeros = static_cast<int64_t>(num_hosts_) -
                   static_cast<int64_t>(touched_.size());
   if (zeros > 0) h.Add(0, zeros);
-  for (HostId host : touched_) h.Add(static_cast<int64_t>(processed_[host]));
+  for (HostId host : touched_) {
+    h.Add(static_cast<int64_t>(*counts_.Find(host)));
+  }
   return h;
 }
 
 void Metrics::Reset(uint32_t num_hosts) {
-  for (HostId h : touched_) {
-    if (h < num_hosts) processed_[h] = 0;
-  }
+  num_hosts_ = num_hosts;
+  counts_.Reset(num_hosts);
   touched_.clear();
-  processed_.resize(num_hosts, 0);
   sends_per_tick_.clear();
   messages_sent_ = 0;
   bytes_sent_ = 0;

@@ -9,9 +9,13 @@
 //    the metrics also record the last delivery time and the per-tick
 //    message series used by Fig. 13(b).
 //
-// Hosts that processed at least one message are tracked in a dirty list, so
-// Reset() — the inter-query session path — and the per-host summaries cost
-// O(hosts touched + ticks elapsed), not O(network).
+// Per-host tallies are paged (common/paged_state.h): a host that processed
+// nothing occupies no storage, so *constructing* a Metrics for a
+// million-host network is O(1) and a query is charged only for the hosts it
+// touched. Hosts that processed at least one message are additionally
+// tracked in a dirty list, so Reset() — the inter-query session path — and
+// the per-host summaries cost O(hosts touched + ticks elapsed), not
+// O(network).
 
 #ifndef VALIDITY_SIM_METRICS_H_
 #define VALIDITY_SIM_METRICS_H_
@@ -21,13 +25,16 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/paged_state.h"
 #include "common/types.h"
 
 namespace validity::sim {
 
 class Metrics {
  public:
-  explicit Metrics(uint32_t num_hosts) : processed_(num_hosts, 0) {}
+  explicit Metrics(uint32_t num_hosts) : num_hosts_(num_hosts) {
+    counts_.Reset(num_hosts);
+  }
 
   /// Records a transmission of `bytes` at time `t` (one call per message for
   /// point-to-point; one call per wireless broadcast).
@@ -42,8 +49,12 @@ class Metrics {
   SimTime last_send_time() const { return last_send_time_; }
   SimTime last_delivery_time() const { return last_delivery_time_; }
 
-  /// Messages processed by host `h`.
-  uint64_t ProcessedBy(HostId h) const { return processed_[h]; }
+  /// Messages processed by host `h` (0 for hosts whose tally page was never
+  /// materialized).
+  uint64_t ProcessedBy(HostId h) const {
+    const uint64_t* count = counts_.Find(h);
+    return count == nullptr ? 0 : *count;
+  }
 
   /// Max messages processed by any single host = protocol computation cost.
   /// O(hosts that processed anything).
@@ -56,13 +67,21 @@ class Metrics {
   /// Messages sent during tick [i, i+1) (Fig. 13(b)). Index i = floor(t).
   const std::vector<uint64_t>& SendsPerTick() const { return sends_per_tick_; }
 
-  /// Grows the per-host table when hosts join.
-  void OnHostAdded() { processed_.push_back(0); }
+  /// Grows the accounted host population when hosts join (tally pages
+  /// materialize on demand).
+  void OnHostAdded() { ++num_hosts_; }
 
-  /// Zeroes every counter for a fresh run over `num_hosts` hosts (truncating
-  /// entries of hosts joined since construction). O(hosts touched + ticks),
-  /// not O(num_hosts); storage capacity is retained.
+  /// Zeroes every counter for a fresh run over `num_hosts` hosts (dropping
+  /// hosts joined since construction). O(ticks elapsed) plus an O(1) page
+  /// epoch bump; storage capacity is retained.
   void Reset(uint32_t num_hosts);
+
+  /// Bytes of tally storage currently resident (the paged counters plus the
+  /// dirty list and tick series).
+  size_t ResidentBytes() const {
+    return counts_.ResidentBytes() + touched_.capacity() * sizeof(HostId) +
+           sends_per_tick_.capacity() * sizeof(uint64_t);
+  }
 
  private:
   uint64_t messages_sent_ = 0;
@@ -70,8 +89,10 @@ class Metrics {
   uint64_t messages_delivered_ = 0;
   SimTime last_send_time_ = 0;
   SimTime last_delivery_time_ = 0;
-  std::vector<uint64_t> processed_;
-  /// Hosts with processed_[h] > 0, each exactly once (pushed on the 0 -> 1
+  uint32_t num_hosts_ = 0;
+  /// Per-host processed tallies, materialized on first touch.
+  PagedStates<uint64_t> counts_;
+  /// Hosts with a nonzero tally, each exactly once (pushed on the 0 -> 1
   /// transition).
   std::vector<HostId> touched_;
   std::vector<uint64_t> sends_per_tick_;

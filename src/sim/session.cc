@@ -44,11 +44,13 @@ void QueryProgramMux::OnNeighborFailure(HostId self, HostId failed) {
   }
 }
 
+SimulatorSession::SimulatorSession(topology::Topology topology,
+                                   SimOptions options)
+    : topo_(topology), sim_(topo_, options) {}
+
 SimulatorSession::SimulatorSession(const topology::Graph* graph,
                                    SimOptions options)
-    : graph_(graph), sim_(*graph, options) {
-  VALIDITY_CHECK(graph != nullptr);
-}
+    : SimulatorSession(topology::Topology::FromGraph(graph), options) {}
 
 void SimulatorSession::Reset() {
   ++epoch_;

@@ -39,7 +39,7 @@
 
 #include "sim/metrics.h"
 #include "sim/simulator.h"
-#include "topology/graph.h"
+#include "topology/topology.h"
 
 namespace validity::sim {
 
@@ -72,17 +72,29 @@ class QueryProgramMux : public HostProgram {
 
 class SimulatorSession {
  public:
-  /// Builds the one O(network) simulator this session will reuse. `graph`
-  /// must outlive the session. `options.failure_detection` and
-  /// `options.max_events` are per-query knobs the engine retunes on every
-  /// run; the structural options (delta, medium, heartbeat_interval) are
-  /// fixed for the session's lifetime.
+  /// Builds the one simulator this session will reuse — O(network) for
+  /// graph-backed topologies, O(1)-ish for implicit ones (grid/ring/torus),
+  /// which never materialize adjacency or liveness tables at all. For
+  /// kGraph topologies the underlying graph must outlive the session.
+  /// `options.failure_detection` and `options.max_events` are per-query
+  /// knobs the engine retunes on every run; the structural options (delta,
+  /// medium, heartbeat_interval, materialize_adjacency) are fixed for the
+  /// session's lifetime.
+  SimulatorSession(topology::Topology topology, SimOptions options);
+
+  /// Convenience over a materialized graph (must outlive the session).
   SimulatorSession(const topology::Graph* graph, SimOptions options);
 
   SimulatorSession(const SimulatorSession&) = delete;
   SimulatorSession& operator=(const SimulatorSession&) = delete;
 
-  const topology::Graph& graph() const { return *graph_; }
+  const topology::Topology& topology() const { return topo_; }
+  /// The materialized graph (kGraph topologies only).
+  const topology::Graph& graph() const {
+    VALIDITY_CHECK(topo_.graph() != nullptr,
+                   "session over an implicit topology has no graph");
+    return *topo_.graph();
+  }
   Simulator& simulator() { return sim_; }
   const Simulator& simulator() const { return sim_; }
   QueryProgramMux& mux() { return mux_; }
@@ -112,7 +124,7 @@ class SimulatorSession {
   void ParkProgram(uint32_t key, std::unique_ptr<HostProgram> program);
 
  private:
-  const topology::Graph* graph_;
+  topology::Topology topo_;
   Simulator sim_;
   QueryProgramMux mux_;
   uint64_t epoch_ = 0;

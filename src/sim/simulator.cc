@@ -5,43 +5,34 @@
 
 namespace validity::sim {
 
-namespace {
-constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
-}  // namespace
-
-Simulator::Simulator(const topology::Graph& graph, SimOptions options)
+Simulator::Simulator(const topology::Topology& topology, SimOptions options)
     : options_(options),
-      alive_(graph.num_hosts(), 1),
-      failure_time_(graph.num_hosts(), kNever),
-      join_time_(graph.num_hosts(), 0.0),
-      base_hosts_(graph.num_hosts()),
-      alive_count_(graph.num_hosts()),
-      metrics_(graph.num_hosts()) {
+      topo_(topology),
+      base_hosts_(topology.num_hosts()),
+      num_hosts_(topology.num_hosts()),
+      metrics_(topology.num_hosts()) {
   VALIDITY_CHECK(options_.delta > 0, "delta must be positive");
-  uint32_t n = graph.num_hosts();
-  // Leave headroom so a typical churn/join script never reallocates the
-  // per-host tables mid-run.
-  size_t slack = static_cast<size_t>(n) + n / 8 + 16;
-  alive_.reserve(slack);
-  failure_time_.reserve(slack);
-  join_time_.reserve(slack);
-  nbr_extra_.resize(n);
-  nbr_extra_.reserve(slack);
-  // Adjacency as CSR, built once: one offset pass, one fill pass.
-  nbr_offset_.reserve(slack + 1);
-  nbr_offset_.resize(n + 1, 0);
-  for (HostId h = 0; h < n; ++h) {
-    nbr_offset_[h + 1] =
-        nbr_offset_[h] + static_cast<uint32_t>(graph.Neighbors(h).size());
-  }
-  nbr_flat_.reserve(nbr_offset_[n] + nbr_offset_[n] / 8 + 16);
-  nbr_flat_.resize(nbr_offset_[n]);
-  for (HostId h = 0; h < n; ++h) {
-    auto nbrs = graph.Neighbors(h);
-    std::copy(nbrs.begin(), nbrs.end(), nbr_flat_.begin() + nbr_offset_[h]);
+  use_csr_ = !topo_.implicit() || options_.materialize_adjacency;
+  uint32_t n = base_hosts_;
+  if (use_csr_) {
+    // Adjacency as CSR, built once: one offset pass, one fill pass. The
+    // fill enumerates the topology provider, so a materialized implicit
+    // topology stores neighbors in exactly the arithmetic order.
+    nbr_offset_.resize(n + 1, 0);
+    for (HostId h = 0; h < n; ++h) {
+      nbr_offset_[h + 1] = nbr_offset_[h] + topo_.Degree(h);
+    }
+    nbr_flat_.resize(nbr_offset_[n]);
+    for (HostId h = 0; h < n; ++h) {
+      topo_.CopyNeighbors(h, nbr_flat_.data() + nbr_offset_[h]);
+    }
+    queue_.Reserve(std::min<size_t>(2 * static_cast<size_t>(n) + 64, 1 << 20));
+  } else {
+    // Arithmetic mode: nothing per-host is built here; a query pays only
+    // for the hosts it touches. The queue warms itself on demand.
+    queue_.Reserve(1024);
   }
   queue_.SetTypedHandler(&Simulator::DispatchThunk, this);
-  queue_.Reserve(std::min<size_t>(2 * static_cast<size_t>(n) + 64, 1 << 20));
 }
 
 void Simulator::Run() {
@@ -82,40 +73,15 @@ void Simulator::Reset() {
   for (uint32_t i = 0; i < slab_used_; ++i) SlotAt(i).msg.body.reset();
   slab_used_ = 0;
   free_head_ = kNoFreeSlot;
-  // Hosts joined at runtime: peel their CSR tail segments and the reverse
-  // edges they appended to base hosts' overflow lists (reverse join order,
-  // so each overflow list pops from its back).
-  if (num_hosts() > base_hosts_) {
-    for (HostId h = num_hosts(); h-- > base_hosts_;) {
-      uint32_t begin = nbr_offset_[h];
-      uint32_t end = nbr_offset_[h + 1];
-      for (uint32_t i = begin; i < end; ++i) {
-        HostId nb = nbr_flat_[i];
-        if (nb < base_hosts_) {
-          VALIDITY_DCHECK(!nbr_extra_[nb].empty() &&
-                          nbr_extra_[nb].back() == h);
-          nbr_extra_[nb].pop_back();
-        }
-      }
-    }
-    nbr_flat_.resize(nbr_offset_[base_hosts_]);
-    nbr_offset_.resize(base_hosts_ + 1);
-    nbr_extra_.resize(base_hosts_);
-    alive_.resize(base_hosts_);
-    failure_time_.resize(base_hosts_);
-    join_time_.resize(base_hosts_);
-    // Joined hosts may have cached reverse-slot orders; joins are the cold
-    // path, so drop the whole index epoch rather than tracking which base
-    // pages stayed valid.
-    slot_index_.Reset(base_hosts_);
-  }
-  for (HostId h : failed_hosts_) {
-    if (h >= base_hosts_) continue;  // joined-and-failed: truncated above
-    alive_[h] = 1;
-    failure_time_[h] = kNever;
-  }
-  failed_hosts_.clear();
-  alive_count_ = base_hosts_;
+  // Runtime joins truncate away; liveness rewinds by epoch (failed hosts'
+  // records simply stop being current — no per-host revival walk). The
+  // reverse-slot index is graph-derived and survives: joined hosts never
+  // enter it.
+  joined_adj_.clear();
+  extra_edges_.Reset(base_hosts_);
+  life_.Reset(base_hosts_);
+  num_hosts_ = base_hosts_;
+  dead_count_ = 0;
   metrics_.Reset(base_hosts_);
   instance_metrics_.clear();
   program_ = nullptr;
@@ -134,6 +100,21 @@ void Simulator::DetachInstanceMetrics(uint32_t instance_id) {
       return;
     }
   }
+}
+
+size_t Simulator::ResidentTableBytes() const {
+  size_t bytes = nbr_offset_.capacity() * sizeof(uint32_t) +
+                 nbr_flat_.capacity() * sizeof(HostId);
+  bytes += life_.ResidentBytes() + extra_edges_.ResidentBytes() +
+           slot_index_.ResidentBytes();
+  for (const std::vector<HostId>& own : joined_adj_) {
+    bytes += sizeof(own) + own.capacity() * sizeof(HostId);
+  }
+  bytes += slab_.size() * static_cast<size_t>(kSlabChunkSize) *
+           sizeof(MessageSlot);
+  bytes += metrics_.ResidentBytes();
+  bytes += queue_.ResidentBytes();
+  return bytes;
 }
 
 void Simulator::ScheduleAt(SimTime t, std::function<void()> action) {
@@ -199,36 +180,56 @@ void Simulator::ReleaseMessageSlot(uint32_t index) {
 }
 
 uint32_t Simulator::NeighborSlotOf(HostId h, HostId nb) const {
-  VALIDITY_DCHECK(h + 1 < nbr_offset_.size());
-  uint32_t begin = nbr_offset_[h];
-  uint32_t count = nbr_offset_[h + 1] - begin;
-  if (count > 0) {
-    SlotIndexEntry& entry = slot_index_.Touch(h);
-    const HostId* nbrs = nbr_flat_.data() + begin;
-    if (entry.order == nullptr) {
-      entry.order.reset(new uint32_t[count]);
-      for (uint32_t i = 0; i < count; ++i) entry.order[i] = i;
-      std::sort(entry.order.get(), entry.order.get() + count,
-                [nbrs](uint32_t a, uint32_t b) { return nbrs[a] < nbrs[b]; });
+  VALIDITY_DCHECK(h < num_hosts_);
+  uint32_t base_count = 0;
+  if (__builtin_expect(h >= base_hosts_, 0)) {
+    // Runtime-joined host: its own list is short and cold.
+    const std::vector<HostId>& own = joined_adj_[h - base_hosts_];
+    base_count = static_cast<uint32_t>(own.size());
+    for (uint32_t i = 0; i < base_count; ++i) {
+      if (own[i] == nb) return i;
     }
-    const uint32_t* order = entry.order.get();
-    uint32_t lo = 0;
-    uint32_t hi = count;
-    while (lo < hi) {
-      uint32_t mid = lo + (hi - lo) / 2;
-      if (nbrs[order[mid]] < nb) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
+  } else if (use_csr_) {
+    uint32_t begin = nbr_offset_[h];
+    base_count = nbr_offset_[h + 1] - begin;
+    if (base_count > 0) {
+      SlotIndexEntry& entry = slot_index_.Touch(h);
+      const HostId* nbrs = nbr_flat_.data() + begin;
+      if (entry.order == nullptr) {
+        entry.order.reset(new uint32_t[base_count]);
+        for (uint32_t i = 0; i < base_count; ++i) entry.order[i] = i;
+        std::sort(
+            entry.order.get(), entry.order.get() + base_count,
+            [nbrs](uint32_t a, uint32_t b) { return nbrs[a] < nbrs[b]; });
       }
+      const uint32_t* order = entry.order.get();
+      uint32_t lo = 0;
+      uint32_t hi = base_count;
+      while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        if (nbrs[order[mid]] < nb) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < base_count && nbrs[order[lo]] == nb) return order[lo];
     }
-    if (lo < count && nbrs[order[lo]] == nb) return order[lo];
+  } else {
+    // Arithmetic neighborhoods hold at most 8 ids: a straight scan beats
+    // any index.
+    HostId buf[topology::Topology::kMaxImplicitDegree];
+    base_count = topo_.CopyNeighbors(h, buf);
+    for (uint32_t i = 0; i < base_count; ++i) {
+      if (buf[i] == nb) return i;
+    }
   }
   // Overflow edges appended by runtime joins: a short linear scan.
-  if (h < nbr_extra_.size()) {
-    const auto& extra = nbr_extra_[h];
-    for (uint32_t i = 0; i < extra.size(); ++i) {
-      if (extra[i] == nb) return count + i;
+  if (!joined_adj_.empty()) {
+    if (const std::vector<HostId>* extra = extra_edges_.Find(h)) {
+      for (uint32_t i = 0; i < extra->size(); ++i) {
+        if ((*extra)[i] == nb) return base_count + i;
+      }
     }
   }
   VALIDITY_CHECK(false, "host %u is not a neighbor of %u", nb, h);
@@ -236,13 +237,11 @@ uint32_t Simulator::NeighborSlotOf(HostId h, HostId nb) const {
 }
 
 void Simulator::FailHost(HostId h) {
-  VALIDITY_DCHECK(h < alive_.size());
+  VALIDITY_DCHECK(h < num_hosts_);
   if (!IsAlive(h)) return;
   Trace(TraceEventKind::kFail, h, h, 0);
-  alive_[h] = 0;
-  failure_time_[h] = Now();
-  failed_hosts_.push_back(h);
-  --alive_count_;
+  life_.Touch(h).failure_time = Now();
+  ++dead_count_;
   if (options_.failure_detection && program_ != nullptr) {
     // Neighbors detect the silence one heartbeat interval plus one delay
     // after the failure.
@@ -260,26 +259,20 @@ void Simulator::ScheduleFailure(SimTime t, HostId h) {
 
 StatusOr<HostId> Simulator::AddHost(const std::vector<HostId>& neighbors) {
   for (HostId nb : neighbors) {
-    if (nb >= num_hosts()) return Status::OutOfRange("unknown neighbor");
+    if (nb >= num_hosts_) return Status::OutOfRange("unknown neighbor");
     if (!IsAlive(nb)) {
       return Status::FailedPrecondition("cannot join a failed neighbor");
     }
   }
-  HostId id = num_hosts();
-  // The new host is the last one, so its own list extends the CSR tail;
-  // only the reverse edges need the overflow lists.
-  nbr_flat_.insert(nbr_flat_.end(), neighbors.begin(), neighbors.end());
-  nbr_offset_.push_back(static_cast<uint32_t>(nbr_flat_.size()));
-  for (HostId nb : neighbors) nbr_extra_[nb].push_back(id);
-  nbr_extra_.emplace_back();
-  alive_.push_back(1);
-  failure_time_.push_back(kNever);
-  join_time_.push_back(Now());
+  HostId id = num_hosts_++;
+  joined_adj_.push_back(neighbors);
+  for (HostId nb : neighbors) extra_edges_.Touch(nb).push_back(id);
+  LifeRecord& life = life_.Touch(id);
+  life.join_time = Now();
   Trace(TraceEventKind::kJoin, id, id, 0);
-  ++alive_count_;
   metrics_.OnHostAdded();
-  // Per-instance lanes must cover the new host too, or a tagged message
-  // delivered to it would index past the lane's per-host table.
+  // Per-instance lanes must cover the new host too, so tagged traffic
+  // delivered to it lands in the right zero-message bucket.
   for (const InstanceMetrics& entry : instance_metrics_) {
     entry.metrics->OnHostAdded();
   }
@@ -297,7 +290,7 @@ void Simulator::DeliverTo(HostId to, const Message& msg) {
 }
 
 void Simulator::SendTo(HostId from, HostId to, Message msg) {
-  VALIDITY_DCHECK(from < num_hosts() && to < num_hosts());
+  VALIDITY_DCHECK(from < num_hosts_ && to < num_hosts_);
   if (!IsAlive(from)) return;  // failed hosts send nothing
   msg.src = from;
   msg.dst = to;
@@ -309,7 +302,7 @@ void Simulator::SendTo(HostId from, HostId to, Message msg) {
 }
 
 void Simulator::SendToNeighbors(HostId from, Message msg) {
-  VALIDITY_DCHECK(from < num_hosts());
+  VALIDITY_DCHECK(from < num_hosts_);
   if (!IsAlive(from)) return;
   msg.src = from;
   NeighborSpan nbrs = NeighborsOf(from);
@@ -347,7 +340,7 @@ void Simulator::SendToNeighbors(HostId from, Message msg) {
 
 void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
                            uint32_t count) {
-  VALIDITY_DCHECK(from < num_hosts());
+  VALIDITY_DCHECK(from < num_hosts_);
   if (!IsAlive(from) || count == 0) return;
   msg.src = from;
   SimTime arrive = Now() + options_.delta;
@@ -357,7 +350,7 @@ void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
   uint32_t slot = AcquireMessageSlot(std::move(msg), count);
   for (uint32_t i = 0; i < count; ++i) {
     HostId to = targets[i];
-    VALIDITY_DCHECK(to < num_hosts() && IsAlive(to));
+    VALIDITY_DCHECK(to < num_hosts_ && IsAlive(to));
     Trace(TraceEventKind::kSend, from, to, kind);
     metrics.RecordSend(Now(), bytes);
     queue_.ScheduleTyped(arrive, EventTag::kDeliver, to, from, slot, 0);
@@ -365,7 +358,7 @@ void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
 }
 
 void Simulator::SendDirect(HostId from, HostId to, Message msg) {
-  VALIDITY_DCHECK(from < num_hosts() && to < num_hosts());
+  VALIDITY_DCHECK(from < num_hosts_ && to < num_hosts_);
   VALIDITY_CHECK(options_.medium == MediumKind::kPointToPoint,
                  "direct delivery requires a point-to-point underlay");
   if (!IsAlive(from)) return;

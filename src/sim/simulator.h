@@ -16,18 +16,27 @@
 // receives message/timer/failure callbacks; all state per host lives in the
 // protocol object.
 //
-// Internals are built for million-host runs: adjacency is a CSR layout
-// assembled once in the constructor (joined hosts append at the tail; the
-// reverse edges land in a per-host overflow list), message deliveries and
-// timers travel as typed plain-data events (see event_queue.h), and message
-// payloads live in a refcounted slab whose slots are recycled — a
-// point-to-point fan-out to k neighbors performs zero allocations per
-// neighbor in steady state.
+// Internals are built for million-host runs, with every per-host table
+// disc-proportional:
+//  - adjacency comes from a topology::Topology. Implicit regular shapes
+//    (grid, ring, torus) are served arithmetically — no CSR, no O(n)
+//    adjacency storage at all; edge-list graphs build a CSR once in the
+//    constructor. Either way NeighborsOf is the single access path.
+//  - liveness (failure/join times) and the per-host metrics tallies live in
+//    epoch-reset pages materialized on first touch; an untouched host is
+//    implicitly "alive since 0, never failed". Constructing a simulator, and
+//    Reset() between session queries, are therefore O(touched + pending),
+//    not O(network) (ResidentTableBytes() reports the footprint).
+//  - message deliveries and timers travel as typed plain-data events (see
+//    event_queue.h), and message payloads live in a refcounted slab whose
+//    slots are recycled — a point-to-point fan-out to k neighbors performs
+//    zero allocations per neighbor in steady state.
 
 #ifndef VALIDITY_SIM_SIMULATOR_H_
 #define VALIDITY_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -40,9 +49,12 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
-#include "topology/graph.h"
+#include "topology/topology.h"
 
 namespace validity::sim {
+
+/// FailureTime() of a host that never failed.
+inline constexpr SimTime kNeverFails = std::numeric_limits<SimTime>::infinity();
 
 /// Physical medium determines message accounting (paper §5.3/§6.6):
 /// point-to-point charges one message per destination; wireless charges one
@@ -61,6 +73,10 @@ struct SimOptions {
   /// Abort if more than this many events execute (0 = unlimited). Guards
   /// against non-terminating protocols in tests.
   uint64_t max_events = 0;
+  /// Build a CSR even for an implicit topology, so the table-driven and
+  /// arithmetic neighbor paths can be compared bit-for-bit (tests). Costs
+  /// the O(n) adjacency build implicit topologies exist to avoid.
+  bool materialize_adjacency = false;
 };
 
 /// Protocol callback interface. One program instance serves every host;
@@ -81,16 +97,42 @@ class HostProgram {
   }
 };
 
-/// A host's neighbor list: the CSR segment built at construction plus any
-/// reverse edges appended when later hosts joined. Cheap to copy; iteration
-/// and operator[] present the two segments as one contiguous sequence.
+/// A host's neighbor list: either a view into external storage (the CSR
+/// segment, or a joined host's own list) or a small inline buffer filled
+/// arithmetically from an implicit topology — plus any reverse edges
+/// appended when later hosts joined. Cheap to copy (the inline buffer is 8
+/// ids); iteration and operator[] present the segments as one contiguous
+/// sequence.
 class NeighborSpan {
  public:
+  static constexpr uint32_t kInlineCapacity =
+      topology::Topology::kMaxImplicitDegree;
+
   NeighborSpan(const HostId* base, uint32_t base_count,
                const std::vector<HostId>* extra)
       : base_(base),
         base_count_(base_count),
         extra_(extra == nullptr || extra->empty() ? nullptr : extra) {}
+
+  /// An inline span: the caller fills inline_data() with up to
+  /// kInlineCapacity ids and seals the count with set_inline_count.
+  struct InlineTag {};
+  NeighborSpan(InlineTag, const std::vector<HostId>* extra)
+      : base_(inline_),
+        base_count_(0),
+        extra_(extra == nullptr || extra->empty() ? nullptr : extra) {}
+
+  NeighborSpan(const NeighborSpan& other) { CopyFrom(other); }
+  NeighborSpan& operator=(const NeighborSpan& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  HostId* inline_data() { return inline_; }
+  void set_inline_count(uint32_t count) {
+    VALIDITY_DCHECK(count <= kInlineCapacity);
+    base_count_ = count;
+  }
 
   uint32_t size() const {
     return base_count_ +
@@ -128,15 +170,35 @@ class NeighborSpan {
   Iterator end() const { return Iterator(this, size()); }
 
  private:
+  void CopyFrom(const NeighborSpan& other) {
+    base_count_ = other.base_count_;
+    extra_ = other.extra_;
+    if (other.base_ == other.inline_) {
+      std::memcpy(inline_, other.inline_, base_count_ * sizeof(HostId));
+      base_ = inline_;
+    } else {
+      base_ = other.base_;
+    }
+  }
+
   const HostId* base_;
   uint32_t base_count_;
   const std::vector<HostId>* extra_;
+  HostId inline_[kInlineCapacity];
 };
 
 class Simulator {
  public:
-  /// Builds a simulator over `graph`; all hosts start alive at time 0.
-  Simulator(const topology::Graph& graph, SimOptions options);
+  /// Builds a simulator over `topology`; all hosts start alive at time 0.
+  /// For kGraph topologies the graph (which `topology` points at) must
+  /// outlive the simulator. Construction is O(1)-ish for implicit
+  /// topologies and O(n + m) (the CSR build) for graphs.
+  Simulator(const topology::Topology& topology, SimOptions options);
+
+  /// Convenience over a materialized graph; `graph` must outlive the
+  /// simulator.
+  Simulator(const topology::Graph& graph, SimOptions options)
+      : Simulator(topology::Topology::FromGraph(&graph), options) {}
 
   // Not movable: the event queue holds a back-pointer to this simulator as
   // its typed-event dispatch context (and protocols hold raw pointers too).
@@ -147,6 +209,7 @@ class Simulator {
 
   SimTime Now() const { return queue_.Now(); }
   const SimOptions& options() const { return options_; }
+  const topology::Topology& topology() const { return topo_; }
 
   /// Per-query knobs a SimulatorSession retunes between runs without
   /// rebuilding the simulator. failure_detection only gates what FailHost
@@ -161,11 +224,12 @@ class Simulator {
   /// alive at time 0, empty event queue, zeroed metrics, no attached
   /// program — in time proportional to what previous runs touched (failed
   /// hosts, joined hosts, pending events, hosts that processed messages),
-  /// not the network size. Graph-derived structures (CSR adjacency, the
-  /// NeighborSlotOf index) survive untouched, which is what makes a cached
-  /// per-graph simulator worth keeping: see sim/session.h. Hosts added at
-  /// runtime (AddHost) are removed again; the trace recorder, if any, stays
-  /// attached.
+  /// not the network size: liveness and metrics pages rewind by epoch
+  /// counter (common/paged_state.h), pending events drain through a dirty
+  /// walk, and runtime joins truncate away. Graph-derived structures (the
+  /// CSR, the NeighborSlotOf index) survive untouched, which is what makes
+  /// a cached per-graph simulator worth keeping: see sim/session.h. The
+  /// trace recorder, if any, stays attached.
   void Reset();
 
   /// Runs until the event queue is exhausted.
@@ -180,19 +244,37 @@ class Simulator {
 
   // --- hosts ------------------------------------------------------------
 
-  uint32_t num_hosts() const { return static_cast<uint32_t>(alive_.size()); }
+  uint32_t num_hosts() const { return num_hosts_; }
+  /// Alive now. Hosts are implicitly alive — a host is dead only if a
+  /// failure record was materialized for it this epoch, so the failure-free
+  /// fast path is a pair of integer tests.
   bool IsAlive(HostId h) const {
-    return h < alive_.size() && alive_[h] != 0;
+    if (h >= num_hosts_) return false;
+    if (dead_count_ == 0) return true;
+    const LifeRecord* life = life_.Find(h);
+    return life == nullptr || life->failure_time == kNeverFails;
   }
-  uint32_t alive_count() const { return alive_count_; }
+  uint32_t alive_count() const { return num_hosts_ - dead_count_; }
 
   /// Neighbors as built (may include failed hosts; filter with IsAlive or
   /// use ForEachAliveNeighbor).
   NeighborSpan NeighborsOf(HostId h) const {
-    VALIDITY_DCHECK(h + 1 < nbr_offset_.size());
-    uint32_t begin = nbr_offset_[h];
-    return NeighborSpan(nbr_flat_.data() + begin, nbr_offset_[h + 1] - begin,
-                        h < nbr_extra_.size() ? &nbr_extra_[h] : nullptr);
+    VALIDITY_DCHECK(h < num_hosts_);
+    const std::vector<HostId>* extra =
+        joined_adj_.empty() ? nullptr : extra_edges_.Find(h);
+    if (__builtin_expect(h >= base_hosts_, 0)) {
+      const std::vector<HostId>& own = joined_adj_[h - base_hosts_];
+      return NeighborSpan(own.data(), static_cast<uint32_t>(own.size()),
+                          extra);
+    }
+    if (use_csr_) {
+      uint32_t begin = nbr_offset_[h];
+      return NeighborSpan(nbr_flat_.data() + begin,
+                          nbr_offset_[h + 1] - begin, extra);
+    }
+    NeighborSpan span{NeighborSpan::InlineTag{}, extra};
+    span.set_inline_count(topo_.CopyNeighbors(h, span.inline_data()));
+    return span;
   }
 
   template <typename Fn>
@@ -204,9 +286,10 @@ class Simulator {
 
   /// Slot of `nb` in NeighborsOf(h) — the reverse lookup convergecast
   /// protocols run once per received message. O(log degree) against a
-  /// lazily-built per-host sorted index over the CSR segment (built once per
-  /// host on first use; O(degree) overflow edges from runtime joins are
-  /// scanned linearly). CHECK-fails if `nb` is not a neighbor of `h`.
+  /// lazily-built per-host sorted index over the CSR segment; implicit
+  /// topologies scan their (<= 8-entry) arithmetic neighborhood directly.
+  /// O(degree) overflow edges from runtime joins are scanned linearly.
+  /// CHECK-fails if `nb` is not a neighbor of `h`.
   uint32_t NeighborSlotOf(HostId h, HostId nb) const;
 
   /// Fails `h` immediately (no-op if already dead). Triggers failure
@@ -219,18 +302,36 @@ class Simulator {
   StatusOr<HostId> AddHost(const std::vector<HostId>& neighbors);
 
   /// Time at which `h` failed; +infinity while alive.
-  SimTime FailureTime(HostId h) const { return failure_time_[h]; }
+  SimTime FailureTime(HostId h) const {
+    const LifeRecord* life = life_.Find(h);
+    return life == nullptr ? kNeverFails : life->failure_time;
+  }
   /// Time at which `h` joined; 0 for initial hosts.
-  SimTime JoinTime(HostId h) const { return join_time_[h]; }
+  SimTime JoinTime(HostId h) const {
+    const LifeRecord* life = life_.Find(h);
+    return life == nullptr ? 0.0 : life->join_time;
+  }
 
   /// True if `h` was alive during the whole closed interval [a, b].
   bool AliveThroughout(HostId h, SimTime a, SimTime b) const {
-    return join_time_[h] <= a && failure_time_[h] > b;
+    const LifeRecord* life = life_.Find(h);
+    return life == nullptr ||
+           (life->join_time <= a && life->failure_time > b);
   }
   /// True if `h` was alive at some instant of [a, b].
   bool AliveSometimeIn(HostId h, SimTime a, SimTime b) const {
-    return join_time_[h] <= b && failure_time_[h] > a;
+    const LifeRecord* life = life_.Find(h);
+    return life == nullptr ||
+           (life->join_time <= b && life->failure_time > a);
   }
+
+  /// Bytes of per-host simulator tables currently resident: adjacency
+  /// (CSR or none), liveness/metrics pages, the reverse-slot index
+  /// directory, runtime-join lists, the message slab, and event-queue
+  /// storage. The number million-host scenarios watch: with an implicit
+  /// topology and a disc-bounded query it tracks the disc, not the network
+  /// (examples/million_grid.cpp checks this).
+  size_t ResidentTableBytes() const;
 
   // --- messaging ----------------------------------------------------------
 
@@ -282,6 +383,14 @@ class Simulator {
   void AttachTrace(TraceRecorder* trace) { trace_ = trace; }
 
  private:
+  /// Liveness record, paged and materialized only for hosts that failed or
+  /// joined at runtime; every other host reads as the value-initialized
+  /// default — joined at 0, never failed.
+  struct LifeRecord {
+    SimTime failure_time = kNeverFails;
+    SimTime join_time = 0.0;
+  };
+
   /// Refcounted slab cell: one stored payload shared by every in-flight
   /// delivery of a fan-out. Slots live in fixed-size chunks so addresses
   /// stay stable while a delivery callback schedules further sends.
@@ -332,30 +441,40 @@ class Simulator {
                                                  uint32_t mkind);
 
   SimOptions options_;
+  topology::Topology topo_;
   EventQueue queue_;
-  /// CSR adjacency: host h's neighbors are nbr_flat_[nbr_offset_[h] ..
-  /// nbr_offset_[h+1]) plus nbr_extra_[h] (reverse edges from later joins).
+  /// CSR adjacency for kGraph topologies (or implicit ones materialized via
+  /// SimOptions::materialize_adjacency): base host h's neighbors are
+  /// nbr_flat_[nbr_offset_[h] .. nbr_offset_[h+1]). Empty in arithmetic
+  /// mode.
+  bool use_csr_ = false;
   std::vector<uint32_t> nbr_offset_;
   std::vector<HostId> nbr_flat_;
-  std::vector<std::vector<HostId>> nbr_extra_;
+  /// Hosts joined at runtime: joined_adj_[h - base_hosts_] is the neighbor
+  /// list host h attached with. Truncated away by Reset().
+  std::vector<std::vector<HostId>> joined_adj_;
+  /// Reverse edges runtime joins appended to existing hosts, paged on first
+  /// touch and epoch-reset with the rest of the mutable state. Consulted
+  /// only while joined hosts exist (joins are the cold path).
+  PagedStates<std::vector<HostId>> extra_edges_;
   /// NeighborSlotOf index: per-host permutation of the host's CSR segment,
   /// sorted by neighbor id. Built lazily per host and stored behind the
   /// same paged directory the protocols use for their state, so on a
   /// million-host graph a query touching a small disc only materializes
-  /// index storage for that disc.
+  /// index storage for that disc. CSR mode only; purely graph-derived, so
+  /// it survives Reset().
   struct SlotIndexEntry {
     std::unique_ptr<uint32_t[]> order;  // null until built; degree entries
   };
   mutable PagedStates<SlotIndexEntry> slot_index_;
-  std::vector<uint8_t> alive_;
-  std::vector<SimTime> failure_time_;
-  std::vector<SimTime> join_time_;
-  /// Hosts FailHost actually transitioned to dead, each once — the dirty
-  /// list Reset() walks to revive the base network in O(failed).
-  std::vector<HostId> failed_hosts_;
+  /// Liveness, paged: only failed or runtime-joined hosts materialize a
+  /// record (see LifeRecord).
+  PagedStates<LifeRecord> life_;
   /// Host count at construction; hosts joined at runtime (ids >= this) are
   /// truncated away again by Reset().
   uint32_t base_hosts_ = 0;
+  uint32_t num_hosts_ = 0;
+  uint32_t dead_count_ = 0;
   struct InstanceMetrics {
     uint32_t instance_id;
     Metrics* metrics;
@@ -365,7 +484,6 @@ class Simulator {
   std::vector<std::unique_ptr<MessageSlot[]>> slab_;
   uint32_t slab_used_ = 0;
   uint32_t free_head_ = kNoFreeSlot;
-  uint32_t alive_count_ = 0;
   HostProgram* program_ = nullptr;
   TraceRecorder* trace_ = nullptr;
   Metrics metrics_;

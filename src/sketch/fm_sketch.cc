@@ -3,9 +3,129 @@
 #include <bit>
 #include <cmath>
 
+// The OR-merge word sweep is the hottest instruction stream inside every
+// WILDFIRE receive (the fused combine + same-as-sender pass runs once per
+// delivered convergecast). On x86-64 the c-word loops vectorize to AVX2
+// OR/ANDNOT with a movemask-free reduction; the portable scalar loops stay
+// as the fallback and are bit-identical by construction. Selection happens
+// once at startup via cpuid so one binary serves both machines.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VALIDITY_SKETCH_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace validity::sketch {
 
 namespace {
+
+/// Fused-merge flag words: `gained` is nonzero iff the merge set at least
+/// one new bit in `mine`; `excess` is nonzero iff `mine` holds bits beyond
+/// `theirs` (i.e. merged != theirs).
+struct MergeFlags {
+  uint64_t gained;
+  uint64_t excess;
+};
+
+uint64_t MergeOrWordsScalar(uint64_t* __restrict mine,
+                            const uint64_t* __restrict theirs, size_t n) {
+  uint64_t gained = 0;
+  for (size_t i = 0; i < n; ++i) {
+    gained |= theirs[i] & ~mine[i];
+    mine[i] |= theirs[i];
+  }
+  return gained;
+}
+
+MergeFlags MergeOrCompareWordsScalar(uint64_t* __restrict mine,
+                                     const uint64_t* __restrict theirs,
+                                     size_t n) {
+  uint64_t gained = 0;  // bits theirs adds to mine
+  uint64_t excess = 0;  // bits mine holds beyond theirs
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t m = mine[i];
+    uint64_t t = theirs[i];
+    gained |= t & ~m;
+    excess |= m & ~t;
+    mine[i] = m | t;
+  }
+  return MergeFlags{gained, excess};
+}
+
+#if VALIDITY_SKETCH_X86_SIMD
+
+__attribute__((target("avx2"))) uint64_t MergeOrWordsAvx2(
+    uint64_t* __restrict mine, const uint64_t* __restrict theirs, size_t n) {
+  __m256i gained = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i m = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mine + i));
+    __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(theirs + i));
+    gained = _mm256_or_si256(gained, _mm256_andnot_si256(m, t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mine + i),
+                        _mm256_or_si256(m, t));
+  }
+  uint64_t g = _mm256_testz_si256(gained, gained) ? 0 : 1;
+  for (; i < n; ++i) {
+    g |= theirs[i] & ~mine[i];
+    mine[i] |= theirs[i];
+  }
+  return g;
+}
+
+__attribute__((target("avx2"))) MergeFlags MergeOrCompareWordsAvx2(
+    uint64_t* __restrict mine, const uint64_t* __restrict theirs, size_t n) {
+  __m256i gained = _mm256_setzero_si256();
+  __m256i excess = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i m = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mine + i));
+    __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(theirs + i));
+    gained = _mm256_or_si256(gained, _mm256_andnot_si256(m, t));
+    excess = _mm256_or_si256(excess, _mm256_andnot_si256(t, m));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mine + i),
+                        _mm256_or_si256(m, t));
+  }
+  MergeFlags flags{_mm256_testz_si256(gained, gained) ? 0u : 1u,
+                   _mm256_testz_si256(excess, excess) ? 0u : 1u};
+  for (; i < n; ++i) {
+    uint64_t m = mine[i];
+    uint64_t t = theirs[i];
+    flags.gained |= t & ~m;
+    flags.excess |= m & ~t;
+    mine[i] = m | t;
+  }
+  return flags;
+}
+
+#endif  // VALIDITY_SKETCH_X86_SIMD
+
+using MergeOrFn = uint64_t (*)(uint64_t* __restrict,
+                               const uint64_t* __restrict, size_t);
+using MergeCompareFn = MergeFlags (*)(uint64_t* __restrict,
+                                      const uint64_t* __restrict, size_t);
+
+// Constant-initialized to the scalar kernels so any merge running before
+// dynamic initialization is still correct; the dynamic initializer below
+// upgrades to AVX2 when the CPU has it.
+MergeOrFn g_merge_or = &MergeOrWordsScalar;
+MergeCompareFn g_merge_compare = &MergeOrCompareWordsScalar;
+const char* g_kernel_name = "scalar";
+
+bool SelectSimdKernels() {
+#if VALIDITY_SKETCH_X86_SIMD
+  if (__builtin_cpu_supports("avx2")) {
+    g_merge_or = &MergeOrWordsAvx2;
+    g_merge_compare = &MergeOrCompareWordsAvx2;
+    g_kernel_name = "avx2";
+    return true;
+  }
+#endif
+  return false;
+}
+
+[[maybe_unused]] const bool g_simd_selected = SelectSimdKernels();
 
 /// Binomial(n, 1/2) drawn exactly as the popcount of n fair random bits.
 uint64_t BinomialHalf(uint64_t n, Rng* rng) {
@@ -62,17 +182,7 @@ bool FmSketch::MergeOr(const FmSketch& other) {
   VALIDITY_CHECK(words_.size() == other.words_.size(),
                  "merging sketches of different shapes (%zu vs %zu vectors)",
                  words_.size(), other.words_.size());
-  // Restrict-qualified pointer loop: the hottest operation in a WILDFIRE
-  // run, written so the compiler vectorizes the word sweep.
-  uint64_t* __restrict mine = words_.data();
-  const uint64_t* __restrict theirs = other.words_.data();
-  const size_t n = words_.size();
-  uint64_t gained = 0;
-  for (size_t i = 0; i < n; ++i) {
-    gained |= theirs[i] & ~mine[i];
-    mine[i] |= theirs[i];
-  }
-  return gained != 0;
+  return g_merge_or(words_.data(), other.words_.data(), words_.size()) != 0;
 }
 
 FmSketch::MergeOutcome FmSketch::MergeOrCompare(const FmSketch& other) {
@@ -81,19 +191,22 @@ FmSketch::MergeOutcome FmSketch::MergeOrCompare(const FmSketch& other) {
                  words_.size(), other.words_.size());
   // changed: other adds at least one bit; same_as_other: other covers every
   // bit already here, i.e. the merged value equals other's. One pass.
-  uint64_t* __restrict mine = words_.data();
-  const uint64_t* __restrict theirs = other.words_.data();
-  const size_t n = words_.size();
-  uint64_t gained = 0;  // bits other adds to this
-  uint64_t excess = 0;  // bits this holds beyond other
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t m = mine[i];
-    uint64_t t = theirs[i];
-    gained |= t & ~m;
-    excess |= m & ~t;
-    mine[i] = m | t;
+  MergeFlags flags =
+      g_merge_compare(words_.data(), other.words_.data(), words_.size());
+  return MergeOutcome{flags.gained != 0, flags.excess == 0};
+}
+
+const char* ActiveSketchKernel() { return g_kernel_name; }
+
+const char* ForceScalarSketchKernels(bool force_scalar) {
+  if (force_scalar) {
+    g_merge_or = &MergeOrWordsScalar;
+    g_merge_compare = &MergeOrCompareWordsScalar;
+    g_kernel_name = "scalar";
+  } else {
+    SelectSimdKernels();
   }
-  return MergeOutcome{gained != 0, excess == 0};
+  return g_kernel_name;
 }
 
 int FmSketch::LowestZeroBit(uint32_t i) const {

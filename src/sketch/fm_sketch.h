@@ -103,6 +103,17 @@ class FmSketch {
   std::vector<uint64_t> words_;  // words_[i] = bit-vector B_i
 };
 
+/// Name of the word-kernel implementation currently serving MergeOr /
+/// MergeOrCompare: "avx2" on x86-64 hardware that supports it, "scalar"
+/// otherwise. Both produce bit-identical sketches (OR/ANDNOT are exact);
+/// the kernel is selected once at startup.
+const char* ActiveSketchKernel();
+
+/// Test hook: force the portable scalar kernels (true) or restore the
+/// runtime-selected ones (false). Returns the kernel name now active.
+/// Not thread-safe; tests only.
+const char* ForceScalarSketchKernels(bool force_scalar);
+
 /// Convenience for the Fig. 6 standalone evaluation: sketches every value of
 /// `magnitudes` as if held by distinct hosts and returns (count_estimate,
 /// sum_estimate).

@@ -1,0 +1,117 @@
+// Adjacency providers: one interface over materialized graphs and implicit
+// regular topologies.
+//
+// The paper's headline scenario is a million-host wireless grid (§6)
+// queried over a small disc. A materialized Graph makes even *looking at*
+// that network O(n): the CSR arrays alone are tens of MB and must be built
+// before the first event fires. But the evaluation's regular topologies —
+// the sensor grid, the DHT ring, the torus variants — are arithmetic
+// objects: the neighbors of host h are a pure function of h and the shape
+// parameters. A Topology describes either case behind one interface, so
+// sim::Simulator can serve neighbor queries straight from arithmetic (no
+// CSR, no per-host storage of any kind) for implicit kinds while edge-list
+// graphs keep the CSR path.
+//
+// Determinism contract: CopyNeighbors enumerates neighbors in exactly the
+// order the matching generator's Graph would store them (row-major Moore
+// neighborhood for MakeGrid, ring order for MakeCycle), so a query run over
+// an implicit topology is bit-identical to the same query over the
+// materialized graph — tests/implicit_topology_test.cc enforces this across
+// the full fingerprint matrix.
+//
+// Topology is a value type (a kind tag plus either a Graph pointer or shape
+// parameters); copying is free. A kGraph topology does not own its Graph,
+// which must outlive every simulator built over the topology.
+
+#ifndef VALIDITY_TOPOLOGY_TOPOLOGY_H_
+#define VALIDITY_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "topology/graph.h"
+
+namespace validity::topology {
+
+class Topology {
+ public:
+  enum class Kind : uint8_t {
+    kGraph,  // materialized edge-list Graph (CSR in the simulator)
+    kGrid,   // side x side Moore grid, no wrap (MakeGrid's shape)
+    kRing,   // cycle of n hosts (MakeCycle's shape; the DHT ring)
+    kTorus,  // side x side Moore grid with wrap-around edges
+  };
+
+  /// Largest degree an implicit kind can produce (the Moore neighborhood);
+  /// sized for stack buffers on neighbor-enumeration hot paths.
+  static constexpr uint32_t kMaxImplicitDegree = 8;
+
+  /// Wraps a materialized graph. `graph` must outlive every simulator and
+  /// session built over the returned topology.
+  static Topology FromGraph(const Graph* graph);
+
+  /// side x side sensor grid, Moore 8-neighborhood, no wrap. Matches
+  /// MakeGrid(side) host-for-host and neighbor-order-for-neighbor-order.
+  static StatusOr<Topology> Grid(uint32_t side);
+
+  /// Cycle of n >= 3 hosts. Matches MakeCycle(n) exactly.
+  static StatusOr<Topology> Ring(uint32_t n);
+
+  /// side x side Moore grid with wrap-around (every host has degree 8).
+  /// side >= 3 so the wrapped neighborhood stays simple (no multi-edges).
+  static StatusOr<Topology> Torus(uint32_t side);
+
+  Kind kind() const { return kind_; }
+  /// True for the arithmetic kinds that need no materialized adjacency.
+  bool implicit() const { return kind_ != Kind::kGraph; }
+  /// The wrapped graph (kGraph only; nullptr for implicit kinds).
+  const Graph* graph() const { return graph_; }
+  /// Shape parameter: grid/torus side, or ring length (implicit kinds).
+  uint32_t side() const { return side_; }
+
+  uint32_t num_hosts() const { return num_hosts_; }
+  uint32_t Degree(HostId h) const;
+  uint32_t MaxDegree() const;
+
+  /// Writes the neighbors of `h` into `out` (which must hold Degree(h)
+  /// entries — at most kMaxImplicitDegree for implicit kinds) in the
+  /// deterministic enumeration order and returns the count. Pure arithmetic
+  /// for implicit kinds; a copy of the adjacency span for kGraph.
+  uint32_t CopyNeighbors(HostId h, HostId* out) const;
+
+  /// Exact hop-count diameter, O(1); implicit kinds only (a Moore grid's
+  /// metric is Chebyshev distance). Engines over kGraph topologies estimate
+  /// instead (topology/algorithms.h).
+  uint32_t ImplicitDiameter() const;
+
+  /// Identity: same kind and same underlying object/shape. This is the
+  /// session-compatibility test — two distinct Graph objects are different
+  /// topologies even if isomorphic.
+  bool SameAs(const Topology& other) const {
+    return kind_ == other.kind_ && graph_ == other.graph_ &&
+           side_ == other.side_ && num_hosts_ == other.num_hosts_;
+  }
+
+  const char* KindName() const;
+
+  /// Builds a Graph with this topology's exact vertex and edge set (tests,
+  /// and the bridge to Graph-only tooling). For kGrid/kRing the result is
+  /// neighbor-order-identical to MakeGrid/MakeCycle; for kTorus the edge
+  /// *set* is canonical but per-host order may differ from CopyNeighbors
+  /// (use sim::SimOptions::materialize_adjacency for an order-exact CSR).
+  StatusOr<Graph> Materialize() const;
+
+ private:
+  Topology(Kind kind, const Graph* graph, uint32_t side, uint32_t num_hosts)
+      : kind_(kind), graph_(graph), side_(side), num_hosts_(num_hosts) {}
+
+  Kind kind_;
+  const Graph* graph_;
+  uint32_t side_;
+  uint32_t num_hosts_;
+};
+
+}  // namespace validity::topology
+
+#endif  // VALIDITY_TOPOLOGY_TOPOLOGY_H_

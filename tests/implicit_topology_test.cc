@@ -1,0 +1,244 @@
+// Implicit-topology determinism: a query run over an arithmetic adjacency
+// provider (topology::Topology::Grid/Ring/Torus — no CSR, no per-host
+// simulator tables) is bit-identical, field for field, to the same query
+// over the materialized representation:
+//
+//  (a) implicit grid engine vs MakeGrid-graph engine across the 34-case
+//      (spec, config, hq) fingerprint matrix;
+//  (b) implicit ring/torus vs the same topology with
+//      SimOptions::materialize_adjacency (the CSR built from the provider's
+//      own enumeration) — covers shapes with no order-matched generator;
+//  (c) fresh vs session-reused vs concurrent execution on an implicit
+//      topology, so the O(touched) cold-start path honors the session
+//      determinism contract of docs/SESSIONS.md too.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "sim/session.h"
+#include "topology/generators.h"
+#include "topology/topology.h"
+
+namespace validity::core {
+namespace {
+
+using protocols::ProtocolKind;
+
+struct Case {
+  const char* label;
+  QuerySpec spec;
+  RunConfig config;
+  HostId hq = 0;
+};
+
+/// The session_test 34-case matrix, with one twist: D-hat is pinned
+/// explicitly. An implicit topology derives its auto D-hat from the exact
+/// diameter while a graph engine estimates it heuristically; pinning keeps
+/// the comparison about the adjacency path, not the diameter oracle.
+std::vector<Case> FingerprintMatrix(double d_hat) {
+  std::vector<Case> cases;
+  auto add = [&cases, d_hat](const char* label, ProtocolKind kind,
+                             AggregateKind agg, bool exact, uint32_t removals,
+                             HostId hq) {
+    Case c;
+    c.label = label;
+    c.spec.aggregate = agg;
+    c.spec.exact_combiners = exact;
+    c.spec.d_hat = d_hat;
+    c.config.protocol = kind;
+    c.config.churn_removals = removals;
+    c.hq = hq;
+    cases.push_back(c);
+  };
+
+  for (auto kind :
+       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
+        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
+        ProtocolKind::kWildfire}) {
+    add("count-exact", kind, AggregateKind::kCount, true, 0, 0);
+    add("count-fm", kind, AggregateKind::kCount, false, 0, 0);
+  }
+  for (auto kind :
+       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
+        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
+        ProtocolKind::kWildfire}) {
+    add("count-churn", kind, AggregateKind::kCount, true, 60, 0);
+  }
+  add("wf-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false, 0, 0);
+  add("wf-min", ProtocolKind::kWildfire, AggregateKind::kMin, false, 0, 0);
+  add("wf-max", ProtocolKind::kWildfire, AggregateKind::kMax, false, 0, 0);
+  add("wf-avg", ProtocolKind::kWildfire, AggregateKind::kAverage, false, 0, 0);
+  add("dag-sum", ProtocolKind::kDag, AggregateKind::kSum, false, 0, 0);
+  add("dag-min", ProtocolKind::kDag, AggregateKind::kMin, true, 0, 0);
+  add("tree-sum", ProtocolKind::kSpanningTree, AggregateKind::kSum, true, 0,
+      0);
+  add("tree-avg", ProtocolKind::kSpanningTree, AggregateKind::kAverage, true,
+      0, 0);
+  add("ar-sum", ProtocolKind::kAllReport, AggregateKind::kSum, true, 0, 0);
+  add("ar-reverse", ProtocolKind::kAllReport, AggregateKind::kCount, true, 40,
+      0);
+  cases.back().config.protocol_options.all_report.routing =
+      protocols::ReportRouting::kReversePath;
+  add("wf-no-piggyback", ProtocolKind::kWildfire, AggregateKind::kCount,
+      false, 0, 0);
+  cases.back().config.protocol_options.wildfire.piggyback_broadcast = false;
+  add("wf-no-early-term", ProtocolKind::kWildfire, AggregateKind::kCount,
+      false, 30, 0);
+  cases.back().config.protocol_options.wildfire.early_termination = false;
+  add("wf-no-coalesce", ProtocolKind::kWildfire, AggregateKind::kCount, false,
+      0, 0);
+  cases.back().config.protocol_options.wildfire.coalesce_floods = false;
+  add("dag-k3", ProtocolKind::kDag, AggregateKind::kCount, true, 50, 0);
+  cases.back().config.protocol_options.dag.max_parents = 3;
+  add("tree-eager", ProtocolKind::kSpanningTree, AggregateKind::kCount, true,
+      50, 0);
+  cases.back().config.protocol_options.spanning_tree.pacing =
+      protocols::TreePacing::kEager;
+  add("wf-wireless", ProtocolKind::kWildfire, AggregateKind::kCount, false, 0,
+      0);
+  cases.back().config.sim_options.medium = sim::MediumKind::kWireless;
+  add("wf-churn-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false,
+      90, 0);
+  cases.back().config.churn_seed = 77;
+  cases.back().config.sketch_seed = 78;
+  add("rr-churn-sum", ProtocolKind::kRandomizedReport, AggregateKind::kSum,
+      false, 55, 0);
+  add("wf-hq7", ProtocolKind::kWildfire, AggregateKind::kCount, false, 25, 7);
+  return cases;
+}
+
+void ExpectIdentical(const QueryResult& a, const QueryResult& b,
+                     const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.declared, b.declared);
+  EXPECT_EQ(a.d_hat_used, b.d_hat_used);
+  EXPECT_EQ(a.exact_full, b.exact_full);
+  EXPECT_EQ(a.cost.messages, b.cost.messages);
+  EXPECT_EQ(a.cost.bytes, b.cost.bytes);
+  EXPECT_EQ(a.cost.max_processed, b.cost.max_processed);
+  EXPECT_EQ(a.cost.declared_at, b.cost.declared_at);
+  EXPECT_EQ(a.cost.last_update_at, b.cost.last_update_at);
+  EXPECT_EQ(a.cost.sends_per_tick, b.cost.sends_per_tick);
+  EXPECT_EQ(a.cost.computation_histogram.Items(),
+            b.cost.computation_histogram.Items());
+  EXPECT_EQ(a.validity.q_low, b.validity.q_low);
+  EXPECT_EQ(a.validity.q_high, b.validity.q_high);
+  EXPECT_EQ(a.validity.hc_size, b.validity.hc_size);
+  EXPECT_EQ(a.validity.hu_size, b.validity.hu_size);
+  EXPECT_EQ(a.validity.within, b.validity.within);
+  EXPECT_EQ(a.validity.within_slack, b.validity.within_slack);
+  EXPECT_EQ(a.resident_state_bytes, b.resident_state_bytes);
+}
+
+constexpr uint32_t kSide = 20;  // 400-host grid
+constexpr double kDhat = 25.0;  // covers the 19-hop diameter with margin
+
+TEST(ImplicitTopologyQueryTest, GridMatchesMaterializedGraphAcrossTheMatrix) {
+  topology::Graph graph = *topology::MakeGrid(kSide);
+  topology::Topology implicit = *topology::Topology::Grid(kSide);
+  std::vector<double> values = MakeZipfValues(graph.num_hosts(), 91);
+  QueryEngine graph_engine(&graph, values);
+  QueryEngine implicit_engine(implicit, values);
+
+  std::vector<Case> cases = FingerprintMatrix(kDhat);
+  ASSERT_EQ(cases.size(), 34u);
+  for (const Case& c : cases) {
+    auto materialized = graph_engine.Run(c.spec, c.config, c.hq);
+    ASSERT_TRUE(materialized.ok()) << c.label;
+    auto arithmetic = implicit_engine.Run(c.spec, c.config, c.hq);
+    ASSERT_TRUE(arithmetic.ok()) << c.label;
+    ExpectIdentical(*materialized, *arithmetic, c.label);
+  }
+}
+
+TEST(ImplicitTopologyQueryTest, RingAndTorusMatchTheirMaterializedCsr) {
+  // Ring and torus have no order-matched Graph generator, so compare the
+  // arithmetic neighbor path against a CSR materialized from the provider's
+  // own enumeration (SimOptions::materialize_adjacency) — same engine, same
+  // auto D-hat, only the adjacency representation differs.
+  std::vector<topology::Topology> topologies{
+      *topology::Topology::Ring(300), *topology::Topology::Torus(15)};
+  for (const topology::Topology& topo : topologies) {
+    SCOPED_TRACE(topo.KindName());
+    QueryEngine engine(topo, MakeZipfValues(topo.num_hosts(), 17));
+    std::vector<Case> cases = FingerprintMatrix(/*d_hat=*/0.0);
+    for (const Case& c : cases) {
+      RunConfig csr_config = c.config;
+      csr_config.sim_options.materialize_adjacency = true;
+      auto arithmetic = engine.Run(c.spec, c.config, c.hq);
+      ASSERT_TRUE(arithmetic.ok()) << c.label;
+      auto materialized = engine.Run(c.spec, csr_config, c.hq);
+      ASSERT_TRUE(materialized.ok()) << c.label;
+      ExpectIdentical(*arithmetic, *materialized, c.label);
+    }
+  }
+}
+
+TEST(ImplicitTopologyQueryTest, SessionReuseMatchesFreshOnImplicitGrid) {
+  topology::Topology implicit = *topology::Topology::Grid(kSide);
+  QueryEngine engine(implicit, MakeZipfValues(implicit.num_hosts(), 91));
+  std::vector<Case> cases = FingerprintMatrix(kDhat);
+  // One long-lived session per medium, dirtied by every previous case.
+  std::unique_ptr<sim::SimulatorSession> sessions[2];
+  for (const Case& c : cases) {
+    auto fresh = engine.Run(c.spec, c.config, c.hq);
+    ASSERT_TRUE(fresh.ok()) << c.label;
+    auto& session = sessions[static_cast<int>(c.config.sim_options.medium)];
+    if (session == nullptr) {
+      session = std::make_unique<sim::SimulatorSession>(
+          implicit, c.config.sim_options);
+    }
+    auto reused = engine.Run(session.get(), c.spec, c.config, c.hq);
+    ASSERT_TRUE(reused.ok()) << c.label;
+    ExpectIdentical(*fresh, *reused, c.label);
+  }
+}
+
+TEST(ImplicitTopologyQueryTest, ConcurrentQueriesMatchSoloOnImplicitGrid) {
+  topology::Topology implicit = *topology::Topology::Grid(kSide);
+  QueryEngine engine(implicit, MakeZipfValues(implicit.num_hosts(), 91));
+
+  std::vector<QueryEngine::ConcurrentQuery> queries(3);
+  queries[0].spec.aggregate = AggregateKind::kCount;
+  queries[0].spec.d_hat = kDhat;
+  queries[0].config.protocol = ProtocolKind::kWildfire;
+  queries[0].hq = 0;
+  queries[1].spec.aggregate = AggregateKind::kSum;
+  queries[1].spec.exact_combiners = true;
+  queries[1].spec.d_hat = kDhat;
+  queries[1].config.protocol = ProtocolKind::kSpanningTree;
+  queries[1].hq = 13;
+  queries[2].spec.aggregate = AggregateKind::kMax;
+  queries[2].spec.d_hat = kDhat;
+  queries[2].config.protocol = ProtocolKind::kWildfire;
+  queries[2].config.sketch_seed = 5;
+  queries[2].hq = 42;
+
+  sim::SimulatorSession session(implicit, sim::SimOptions{});
+  auto concurrent = engine.RunConcurrent(&session, queries);
+  ASSERT_TRUE(concurrent.ok());
+  ASSERT_EQ(concurrent->size(), 3u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = engine.Run(queries[i].spec, queries[i].config, queries[i].hq);
+    ASSERT_TRUE(solo.ok());
+    ExpectIdentical(*solo, (*concurrent)[i], "implicit-concurrent-vs-solo");
+  }
+}
+
+TEST(ImplicitTopologyQueryTest, EngineRejectsSessionOverOtherTopology) {
+  topology::Topology grid = *topology::Topology::Grid(kSide);
+  QueryEngine engine(grid, std::vector<double>(grid.num_hosts(), 1.0));
+  sim::SimulatorSession torus_session(*topology::Topology::Torus(kSide),
+                                      sim::SimOptions{});
+  EXPECT_EQ(engine.Run(&torus_session, QuerySpec{}, RunConfig{}, 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace validity::core

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -228,6 +229,94 @@ TEST_F(SessionTest, ChurnedConcurrentQueriesMatchTheirSoloRuns) {
     ASSERT_TRUE(solo.ok());
     ExpectIdentical(*solo, (*concurrent)[i], "churned-concurrent-vs-solo");
   }
+}
+
+TEST_F(SessionTest, StaggeredConcurrentQueriesMatchTheirSoloRuns) {
+  // Queries issued at distinct mid-timeline times on one session — the
+  // continuous-query shape. Each staggered query must be bit-identical to
+  // running it alone at the same start time on the same session, and a
+  // start_at of 0 must remain bit-identical to the plain (t=0) solo path.
+  std::vector<QueryEngine::ConcurrentQuery> queries(3);
+  queries[0].spec.aggregate = AggregateKind::kCount;
+  queries[0].config.protocol = ProtocolKind::kWildfire;
+  queries[0].hq = 0;
+  queries[0].start_at = 0.0;
+  queries[1].spec.aggregate = AggregateKind::kSum;
+  queries[1].spec.exact_combiners = true;
+  queries[1].config.protocol = ProtocolKind::kSpanningTree;
+  queries[1].hq = 13;
+  queries[1].start_at = 5.0;
+  queries[2].spec.aggregate = AggregateKind::kMax;
+  queries[2].config.protocol = ProtocolKind::kWildfire;
+  queries[2].config.sketch_seed = 5;
+  queries[2].hq = 42;
+  queries[2].start_at = 11.5;  // fractional: staggered off the tick comb
+
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  auto staggered = engine_.RunConcurrent(&session, queries);
+  ASSERT_TRUE(staggered.ok());
+  ASSERT_EQ(staggered->size(), 3u);
+
+  // Solo reference: each query alone, at its own start time, on a session
+  // of its own.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sim::SimulatorSession solo_session(&graph_, sim::SimOptions{});
+    auto solo = engine_.RunConcurrent(
+        &solo_session, {queries[i]});
+    ASSERT_TRUE(solo.ok());
+    ASSERT_EQ(solo->size(), 1u);
+    ExpectIdentical((*solo)[0], (*staggered)[i], "staggered-vs-solo");
+  }
+
+  // The t=0 lane also matches the classic single-query entry point.
+  auto plain = engine_.Run(queries[0].spec, queries[0].config, queries[0].hq);
+  ASSERT_TRUE(plain.ok());
+  ExpectIdentical(*plain, (*staggered)[0], "staggered-t0-vs-plain");
+
+  // A staggered query's timing anchors at its start: the mid-timeline sum
+  // query declared after (not at) its issue instant.
+  EXPECT_GT((*staggered)[1].cost.declared_at, queries[1].start_at);
+
+  // Invalid start times are rejected.
+  queries[2].start_at = -1.0;
+  EXPECT_EQ(engine_.RunConcurrent(&session, queries).status().code(),
+            StatusCode::kInvalidArgument);
+  queries[2].start_at = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(engine_.RunConcurrent(&session, queries).status().code(),
+            StatusCode::kInvalidArgument);
+  queries[2].start_at = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(engine_.RunConcurrent(&session, queries).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, StaggeredChurnedQueryObservesItsOwnValidityWindow) {
+  // Churn removes hosts inside the first query's window; a second query
+  // staggered past the churn tail must still match its solo run — its
+  // oracle interval anchors at its own start, when the failures have
+  // already happened.
+  std::vector<QueryEngine::ConcurrentQuery> queries(2);
+  for (auto& q : queries) {
+    q.spec.aggregate = AggregateKind::kCount;
+    q.config.churn_removals = 80;
+    q.config.churn_seed = 9;
+    q.hq = 0;
+  }
+  queries[0].config.protocol = ProtocolKind::kWildfire;
+  queries[0].config.sketch_seed = 21;
+  queries[1].config.protocol = ProtocolKind::kWildfire;
+  queries[1].config.sketch_seed = 22;
+  queries[1].start_at = 4.0;
+
+  sim::SimulatorSession session(&graph_, sim::SimOptions{});
+  auto staggered = engine_.RunConcurrent(&session, queries);
+  ASSERT_TRUE(staggered.ok());
+  sim::SimulatorSession solo_session(&graph_, sim::SimOptions{});
+  auto solo = engine_.RunConcurrent(&solo_session, {queries[1]});
+  ASSERT_TRUE(solo.ok());
+  ExpectIdentical((*solo)[0], (*staggered)[1], "staggered-churned-vs-solo");
+  // Hosts churned out before the late query started are outside its HU.
+  EXPECT_LT((*staggered)[1].validity.hu_size,
+            (*staggered)[0].validity.hu_size);
 }
 
 TEST_F(SessionTest, ConcurrentRequiresASharedTimeline) {

@@ -352,5 +352,90 @@ TEST(MetricsTest, ComputationDistributionCountsReceptions) {
   EXPECT_EQ(h.CountAt(3), 1);
 }
 
+TEST(SimulatorCountsTest, ImplicitDefaultsStayExactUnderChurnAndJoins) {
+  // num_hosts()/alive_count() are maintained as counters over the
+  // implicit-liveness representation (untouched hosts are alive but
+  // unpaged). Churn hard, join, churn the joined hosts, reset, churn again
+  // — after every step the counters must agree with a dense rebuild from
+  // the per-host liveness predicates.
+  topology::Topology topo = *topology::Topology::Grid(40);  // 1600 hosts
+  Simulator sim(topo, SimOptions{});
+  Rng rng(99);
+
+  auto check_against_dense_oracle = [&sim](uint32_t expected_hosts) {
+    ASSERT_EQ(sim.num_hosts(), expected_hosts);
+    uint32_t alive = 0;
+    for (HostId h = 0; h < sim.num_hosts(); ++h) {
+      if (sim.IsAlive(h)) ++alive;
+      // The predicates themselves must agree with each other.
+      EXPECT_EQ(sim.IsAlive(h), sim.FailureTime(h) == kNeverFails);
+    }
+    EXPECT_EQ(sim.alive_count(), alive);
+  };
+
+  check_against_dense_oracle(1600);
+
+  // Random failures, including repeats (FailHost must not double-count).
+  for (int i = 0; i < 400; ++i) {
+    sim.FailHost(static_cast<HostId>(rng.NextBelow(1600)));
+  }
+  check_against_dense_oracle(1600);
+
+  // Joins attach to alive hosts; some joined hosts fail again.
+  std::vector<HostId> joined;
+  for (int i = 0; i < 50; ++i) {
+    HostId nb;
+    do {
+      nb = static_cast<HostId>(rng.NextBelow(1600));
+    } while (!sim.IsAlive(nb));
+    auto id = sim.AddHost({nb});
+    ASSERT_TRUE(id.ok());
+    joined.push_back(*id);
+  }
+  for (int i = 0; i < 20; ++i) {
+    sim.FailHost(joined[rng.NextBelow(joined.size())]);
+  }
+  check_against_dense_oracle(1650);
+
+  // Reset restores the base population exactly.
+  sim.Reset();
+  check_against_dense_oracle(1600);
+  EXPECT_EQ(sim.alive_count(), 1600u);
+
+  // And the next epoch accounts failures from a clean slate.
+  sim.FailHost(7);
+  sim.FailHost(7);
+  sim.FailHost(1599);
+  check_against_dense_oracle(1600);
+  EXPECT_EQ(sim.alive_count(), 1598u);
+
+  // A fresh simulator over the same topology agrees host for host.
+  Simulator fresh(topo, SimOptions{});
+  fresh.FailHost(7);
+  fresh.FailHost(1599);
+  for (HostId h = 0; h < 1600; ++h) {
+    EXPECT_EQ(sim.IsAlive(h), fresh.IsAlive(h));
+  }
+}
+
+TEST(SimulatorCountsTest, ResidentTableBytesTracksTheTouchedDisc) {
+  // An implicit million-ish grid: constructing the simulator materializes
+  // no per-host tables, and failing a handful of hosts pages in only their
+  // neighborhoods.
+  topology::Topology topo = *topology::Topology::Grid(1000);
+  Simulator sim(topo, SimOptions{});
+  size_t fresh_bytes = sim.ResidentTableBytes();
+  // The fresh footprint is bounded by fixed skeleton storage (event queue
+  // reserve, directories), far below one byte per host.
+  EXPECT_LT(fresh_bytes, topo.num_hosts() / 2);
+  sim.FailHost(12345);
+  sim.FailHost(987654);
+  // Two touched liveness pages plus the (O(n / page-size)) directory growth
+  // the far host forces — still hundreds of KB under the ~17 MB the dense
+  // alive/failure/join tables used to cost.
+  EXPECT_LT(sim.ResidentTableBytes(), fresh_bytes + 256 * 1024);
+  EXPECT_EQ(sim.alive_count(), topo.num_hosts() - 2);
+}
+
 }  // namespace
 }  // namespace validity::sim

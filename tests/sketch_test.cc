@@ -232,5 +232,52 @@ TEST(FmSketchTest, MergedShardsEqualUnionSketch) {
   EXPECT_LT(ratio, 2.0);
 }
 
+TEST(FmSketchKernelTest, SimdAndScalarKernelsAreBitIdentical) {
+  // The runtime-selected word kernel (AVX2 where available) must produce
+  // exactly the sketch bits and outcome flags of the portable scalar loop,
+  // across vector counts that exercise full 4-word blocks, tails, and the
+  // empty sketch.
+  Rng rng(123);
+  for (uint32_t c : {1u, 3u, 4u, 7u, 8u, 16u, 33u}) {
+    FmParams params{c};
+    for (int trial = 0; trial < 50; ++trial) {
+      FmSketch a = FmSketch::ForMagnitude(params, 1 + rng.NextBelow(5000),
+                                          &rng);
+      FmSketch b = FmSketch::ForMagnitude(params, 1 + rng.NextBelow(5000),
+                                          &rng);
+      FmSketch a_scalar = a;
+
+      ForceScalarSketchKernels(false);  // runtime-selected (maybe AVX2)
+      FmSketch::MergeOutcome fast = a.MergeOrCompare(b);
+      ForceScalarSketchKernels(true);
+      FmSketch::MergeOutcome slow = a_scalar.MergeOrCompare(b);
+      ForceScalarSketchKernels(false);
+
+      EXPECT_TRUE(a == a_scalar);
+      EXPECT_EQ(fast.changed, slow.changed);
+      EXPECT_EQ(fast.same_as_other, slow.same_as_other);
+
+      // MergeOr flavor over fresh copies.
+      FmSketch x = FmSketch::ForMagnitude(params, 1 + rng.NextBelow(5000),
+                                          &rng);
+      FmSketch x_scalar = x;
+      bool fast_changed = x.MergeOr(b);
+      ForceScalarSketchKernels(true);
+      bool slow_changed = x_scalar.MergeOr(b);
+      ForceScalarSketchKernels(false);
+      EXPECT_TRUE(x == x_scalar);
+      EXPECT_EQ(fast_changed, slow_changed);
+    }
+  }
+}
+
+TEST(FmSketchKernelTest, ForceScalarRoundTrips) {
+  EXPECT_STREQ(ForceScalarSketchKernels(true), "scalar");
+  const char* restored = ForceScalarSketchKernels(false);
+  // Whatever the hardware offers, restoring must land back on the startup
+  // selection.
+  EXPECT_STREQ(restored, ActiveSketchKernel());
+}
+
 }  // namespace
 }  // namespace validity::sketch

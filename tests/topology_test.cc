@@ -13,6 +13,7 @@
 #include "topology/edge_list_io.h"
 #include "topology/generators.h"
 #include "topology/graph.h"
+#include "topology/topology.h"
 
 namespace validity::topology {
 namespace {
@@ -238,6 +239,118 @@ TEST(EdgeListIoTest, LoadRejectsMissingAndMalformed) {
   }
   EXPECT_FALSE(LoadEdgeList(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(ImplicitTopologyTest, GridMatchesMakeGridNeighborForNeighbor) {
+  // The implicit grid must reproduce MakeGrid's adjacency lists exactly —
+  // same neighbors in the same order — for every host, including the four
+  // corners and all edge rows/columns. Order matters: it is what makes
+  // implicit and materialized runs bit-identical.
+  for (uint32_t side : {1u, 2u, 3u, 5u, 17u}) {
+    SCOPED_TRACE(side);
+    Graph g = *MakeGrid(side);
+    Topology topo = *Topology::Grid(side);
+    ASSERT_EQ(topo.num_hosts(), g.num_hosts());
+    EXPECT_EQ(topo.MaxDegree(), g.MaxDegree());
+    HostId buf[Topology::kMaxImplicitDegree];
+    for (HostId h = 0; h < g.num_hosts(); ++h) {
+      auto expected = g.Neighbors(h);
+      ASSERT_EQ(topo.Degree(h), expected.size()) << "host " << h;
+      uint32_t count = topo.CopyNeighbors(h, buf);
+      ASSERT_EQ(count, expected.size()) << "host " << h;
+      for (uint32_t i = 0; i < count; ++i) {
+        EXPECT_EQ(buf[i], expected[i]) << "host " << h << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(ImplicitTopologyTest, GridCornerAndEdgeDegrees) {
+  Topology topo = *Topology::Grid(10);
+  // Corners see a 2x2 square minus themselves.
+  for (HostId corner : {0u, 9u, 90u, 99u}) {
+    EXPECT_EQ(topo.Degree(corner), 3u);
+  }
+  // Edge (non-corner) hosts see a 2x3 block minus themselves.
+  EXPECT_EQ(topo.Degree(4), 5u);       // top row
+  EXPECT_EQ(topo.Degree(90 + 4), 5u);  // bottom row
+  EXPECT_EQ(topo.Degree(40), 5u);      // left column
+  EXPECT_EQ(topo.Degree(49), 5u);      // right column
+  // Interior: full Moore neighborhood.
+  EXPECT_EQ(topo.Degree(55), 8u);
+  EXPECT_EQ(topo.ImplicitDiameter(), 9u);
+}
+
+TEST(ImplicitTopologyTest, RingMatchesMakeCycleIncludingWrapHosts) {
+  for (uint32_t n : {3u, 4u, 257u}) {
+    SCOPED_TRACE(n);
+    Graph g = *MakeCycle(n);
+    Topology topo = *Topology::Ring(n);
+    HostId buf[Topology::kMaxImplicitDegree];
+    for (HostId h = 0; h < n; ++h) {
+      auto expected = g.Neighbors(h);
+      ASSERT_EQ(topo.Degree(h), 2u);
+      ASSERT_EQ(topo.CopyNeighbors(h, buf), expected.size());
+      EXPECT_EQ(buf[0], expected[0]) << "host " << h;
+      EXPECT_EQ(buf[1], expected[1]) << "host " << h;
+    }
+    EXPECT_EQ(topo.ImplicitDiameter(), n / 2);
+  }
+}
+
+TEST(ImplicitTopologyTest, TorusWrapsEveryBoundary) {
+  constexpr uint32_t kSide = 5;
+  Topology topo = *Topology::Torus(kSide);
+  HostId buf[Topology::kMaxImplicitDegree];
+  // Every host — corners included — has the full wrapped Moore
+  // neighborhood.
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    EXPECT_EQ(topo.Degree(h), 8u);
+    ASSERT_EQ(topo.CopyNeighbors(h, buf), 8u);
+    std::set<HostId> distinct(buf, buf + 8);
+    EXPECT_EQ(distinct.size(), 8u) << "host " << h;
+    EXPECT_EQ(distinct.count(h), 0u) << "host " << h;
+  }
+  // The (0, 0) corner wraps to the far row and column in row-major offset
+  // order.
+  ASSERT_EQ(topo.CopyNeighbors(0, buf), 8u);
+  const HostId expected[8] = {4 * kSide + 4, 4 * kSide + 0, 4 * kSide + 1,
+                              4,             1,             kSide + 4,
+                              kSide + 0,     kSide + 1};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[i], expected[i]) << "slot " << i;
+  // Symmetry: the materialized edge set validates as a simple undirected
+  // graph with 4n edges.
+  auto materialized = topo.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(materialized->Validate().ok());
+  EXPECT_EQ(materialized->num_edges(), 4ull * topo.num_hosts());
+}
+
+TEST(ImplicitTopologyTest, MaterializeReproducesTheGridEdgeSet) {
+  Topology topo = *Topology::Grid(6);
+  auto materialized = topo.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  Graph reference = *MakeGrid(6);
+  ASSERT_EQ(materialized->num_edges(), reference.num_edges());
+  for (HostId h = 0; h < reference.num_hosts(); ++h) {
+    for (HostId nb : reference.Neighbors(h)) {
+      EXPECT_TRUE(materialized->HasEdge(h, nb));
+    }
+  }
+}
+
+TEST(ImplicitTopologyTest, ValidatesParameters) {
+  EXPECT_FALSE(Topology::Grid(0).ok());
+  EXPECT_FALSE(Topology::Ring(2).ok());
+  EXPECT_FALSE(Topology::Torus(2).ok());
+  Graph g(4);
+  Topology from_graph = Topology::FromGraph(&g);
+  EXPECT_FALSE(from_graph.implicit());
+  EXPECT_TRUE(Topology::Grid(3)->implicit());
+  EXPECT_TRUE(from_graph.SameAs(Topology::FromGraph(&g)));
+  EXPECT_FALSE(from_graph.SameAs(*Topology::Grid(2)));
+  EXPECT_FALSE(Topology::Grid(3)->SameAs(*Topology::Grid(4)));
+  EXPECT_FALSE(Topology::Grid(3)->SameAs(*Topology::Torus(3)));
 }
 
 }  // namespace
