@@ -4,11 +4,47 @@
 #include <cmath>
 
 #include "common/zipf.h"
+#include "protocols/byzantine.h"
 #include "protocols/factory.h"
 #include "sim/churn.h"
 #include "topology/algorithms.h"
 
 namespace validity::core {
+
+namespace {
+
+/// Per-run byzantine interposition state: the mutator + interposer pair
+/// wrapping a protocol's HostProgram when the config asks for byzantine
+/// hosts. Owned by the run, destroyed after the simulator stops dispatching.
+struct ByzantineRig {
+  std::unique_ptr<protocols::StandardByzantineMutator> mutator;
+  std::unique_ptr<sim::ByzantineInterposer> interposer;
+};
+
+/// The program the simulator (or the session mux lane) should dispatch to:
+/// `inner` directly, or a byzantine interposer wrapping it. `fault` must
+/// outlive the run (it lives in the caller's RunConfig).
+sim::HostProgram* MaybeInterpose(protocols::ProtocolKind kind,
+                                 const sim::FaultSpec& fault,
+                                 protocols::CombinerKind combiner,
+                                 const sketch::FmParams& fm,
+                                 uint32_t num_hosts, sim::HostProgram* inner,
+                                 HostId hq, ByzantineRig* rig) {
+  if (!fault.HasByzantine()) return inner;
+  rig->mutator = std::make_unique<protocols::StandardByzantineMutator>(
+      kind, fault, combiner, fm, num_hosts);
+  rig->interposer = std::make_unique<sim::ByzantineInterposer>(
+      &fault, rig->mutator.get(), inner, hq);
+  return rig->interposer.get();
+}
+
+/// Link faults install when any rate is live (or a bench explicitly asks
+/// for the installed-but-idle path).
+bool ShouldInstallLinkFaults(const sim::FaultSpec& fault) {
+  return fault.HasLinkFaults() || fault.install_idle;
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(const topology::Graph* graph,
                          std::vector<double> values)
@@ -150,11 +186,18 @@ StatusOr<QueryResult> QueryEngine::Run(const QuerySpec& spec,
   sim::SimOptions sim_options = config.sim_options;
   sim_options.failure_detection = plan.failure_detection;
   sim::Simulator simulator(topo_, sim_options);
+  if (ShouldInstallLinkFaults(config.fault)) {
+    simulator.InstallFaults(&config.fault);
+  }
   ScheduleConfiguredChurn(&simulator, config, plan.d_hat, hq);
 
   std::unique_ptr<protocols::ProtocolBase> protocol = protocols::MakeProtocol(
       config.protocol, &simulator, plan.ctx, plan.protocol_options);
-  simulator.AttachProgram(protocol.get());
+  ByzantineRig rig;
+  simulator.AttachProgram(MaybeInterpose(config.protocol, config.fault,
+                                         plan.ctx.combiner, plan.ctx.fm,
+                                         topo_.num_hosts(), protocol.get(),
+                                         hq, &rig));
   protocol->Start(hq);
   simulator.Run();
 
@@ -196,17 +239,25 @@ StatusOr<QueryResult> QueryEngine::Run(sim::SimulatorSession* session,
   sim::Simulator& simulator = session->simulator();
   simulator.set_failure_detection(plan.failure_detection);
   simulator.set_max_events(config.sim_options.max_events);
+  if (ShouldInstallLinkFaults(config.fault)) {
+    simulator.InstallFaults(&config.fault);
+  }
   ScheduleConfiguredChurn(&simulator, config, plan.d_hat, hq);
 
   std::unique_ptr<protocols::ProtocolBase> protocol =
       AcquireSessionProtocol(session, config.protocol, plan);
-  simulator.AttachProgram(protocol.get());
+  ByzantineRig rig;
+  simulator.AttachProgram(MaybeInterpose(config.protocol, config.fault,
+                                         plan.ctx.combiner, plan.ctx.fm,
+                                         topo_.num_hosts(), protocol.get(),
+                                         hq, &rig));
   protocol->Start(hq);
   simulator.Run();
 
   QueryResult result = HarvestResult(simulator, simulator.metrics(),
                                      *protocol, spec, config, plan.d_hat, hq);
   simulator.AttachProgram(nullptr);
+  simulator.InstallFaults(nullptr);
   session->ParkProgram(static_cast<uint32_t>(config.protocol),
                        std::move(protocol));
   return result;
@@ -264,6 +315,11 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
           "concurrent queries share one network timeline and must agree on "
           "the churn schedule");
     }
+    if (!(config.fault == base.fault)) {
+      return Status::InvalidArgument(
+          "concurrent queries share one network timeline and must agree on "
+          "the fault plane");
+    }
     if (base.churn_removals > 0 &&
         (plans[i].d_hat != plans[0].d_hat || queries[i].hq != queries[0].hq)) {
       return Status::InvalidArgument(
@@ -289,12 +345,19 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
   }
   simulator.set_failure_detection(failure_detection);
   simulator.set_max_events(unlimited ? 0 : max_events);
+  if (ShouldInstallLinkFaults(base.fault)) {
+    simulator.InstallFaults(&base.fault);
+  }
   ScheduleConfiguredChurn(&simulator, base, plans[0].d_hat, queries[0].hq);
 
   struct Lane {
     std::unique_ptr<protocols::ProtocolBase> protocol;
     uint32_t park_key = 0;
     sim::Metrics* metrics = nullptr;
+    // Per-lane byzantine interposition: each lane wraps its own protocol
+    // (protecting its own hq, caching its own stale replays), so a lane's
+    // behavior is bit-identical to its solo run.
+    ByzantineRig rig;
   };
   std::vector<Lane> lanes(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -303,8 +366,12 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
     lane.protocol =
         AcquireSessionProtocol(session, queries[i].config.protocol, plans[i]);
     lane.metrics = session->AcquireMetrics();
-    session->mux().Register(lane.protocol->instance_id(),
-                            lane.protocol.get());
+    session->mux().Register(
+        lane.protocol->instance_id(),
+        MaybeInterpose(queries[i].config.protocol, queries[i].config.fault,
+                       plans[i].ctx.combiner, plans[i].ctx.fm,
+                       topo_.num_hosts(), lane.protocol.get(), queries[i].hq,
+                       &lane.rig));
     simulator.AttachInstanceMetrics(lane.protocol->instance_id(),
                                     lane.metrics);
   }
@@ -339,6 +406,7 @@ StatusOr<std::vector<QueryResult>> QueryEngine::RunConcurrent(
   }
 
   simulator.AttachProgram(nullptr);
+  simulator.InstallFaults(nullptr);
   for (Lane& lane : lanes) {
     simulator.DetachInstanceMetrics(lane.protocol->instance_id());
     session->mux().Unregister(lane.protocol->instance_id());

@@ -52,27 +52,34 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
                                      const ChurnSweepOptions& options) {
   const size_t num_protocols = lineup.size();
   const size_t runs_per_level = options.trials * num_protocols;
-  const size_t total_runs = removals.size() * runs_per_level;
+  // Fault axis: no levels configured means one fault-free level.
+  std::vector<sim::FaultSpec> faults = options.fault_levels;
+  if (faults.empty()) faults.push_back(sim::FaultSpec{});
+  const size_t runs_per_fault = removals.size() * runs_per_level;
+  const size_t total_runs = faults.size() * runs_per_fault;
 
-  // Stage 1 (parallel): every (level, trial, protocol) grid point is an
-  // independent const run whose seeds derive from its coordinates alone.
-  // Flat index = (level_index * trials + trial) * num_protocols + protocol,
-  // matching the serial loop nesting below. Each worker keeps one
-  // SimulatorSession, so the O(network) simulator build is paid once per
-  // worker instead of once per cell; session reuse is bit-identical to
-  // fresh construction (docs/SESSIONS.md), so cell results do not depend on
-  // which worker ran them.
+  // Stage 1 (parallel): every (fault, level, trial, protocol) grid point is
+  // an independent const run whose seeds derive from its coordinates alone.
+  // Flat index = ((fault_index * num_levels + level_index) * trials + trial)
+  // * num_protocols + protocol, matching the serial loop nesting below.
+  // Each worker keeps one SimulatorSession, so the O(network) simulator
+  // build is paid once per worker instead of once per cell; session reuse
+  // is bit-identical to fresh construction (docs/SESSIONS.md), so cell
+  // results do not depend on which worker ran them.
   std::vector<CellRun> runs(total_runs);
   std::vector<std::unique_ptr<sim::SimulatorSession>> sessions(
       ResolveThreads(options.threads));
   ParallelForWorker(total_runs, options.threads, [&](uint32_t worker,
                                                      size_t i) {
-    const size_t ri = i / runs_per_level;
+    const size_t f = i / runs_per_fault;
+    const size_t ri = (i / runs_per_level) % removals.size();
     const uint32_t t = static_cast<uint32_t>((i / num_protocols) %
                                              options.trials);
     const size_t p = i % num_protocols;
     const uint32_t r = removals[ri];
-    // One churn schedule per (level, trial), shared by every protocol.
+    // One churn schedule per (level, trial), shared by every protocol and
+    // every fault level — degradation at a cell is attributable to its
+    // faults, not to a different departure draw.
     uint64_t churn_seed =
         Mix64(options.base_seed ^ (uint64_t{r} << 32) ^ (t + 1));
     uint64_t sketch_seed = Mix64(churn_seed + 0x5851f42d4c957f2dULL);
@@ -84,6 +91,12 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
     config.churn_removals = r;
     config.churn_seed = churn_seed;
     config.sketch_seed = sketch_seed;
+    config.fault = faults[f];
+    if (config.fault.enabled()) {
+      // Stateless per-cell remix: trials draw independent fault schedules,
+      // protocols within a (level, trial) share one.
+      config.fault.seed = Mix64(faults[f].seed ^ churn_seed);
+    }
     if (sessions[worker] == nullptr) {
       sessions[worker] = std::make_unique<sim::SimulatorSession>(
           engine.topology(), options.sim_options);
@@ -103,54 +116,60 @@ std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
   });
 
   // Stage 2 (serial): merge in the exact serial iteration order —
-  // removals-major, then trial, then protocol — so every RunningStat sees
-  // its samples in the same sequence a single-threaded sweep would produce
-  // and the means/CIs are bit-identical regardless of thread count.
+  // fault-major, then removals, then trial, then protocol — so every
+  // RunningStat sees its samples in the same sequence a single-threaded
+  // sweep would produce and the means/CIs are bit-identical regardless of
+  // thread count.
   std::vector<SweepCell> cells;
-  cells.reserve(removals.size() * num_protocols);
+  cells.reserve(faults.size() * removals.size() * num_protocols);
   size_t i = 0;
-  for (size_t ri = 0; ri < removals.size(); ++ri) {
-    std::vector<RunningStat> value(num_protocols);
-    std::vector<RunningStat> messages(num_protocols);
-    std::vector<RunningStat> time_cost(num_protocols);
-    std::vector<RunningStat> max_processed(num_protocols);
-    std::vector<uint64_t> within(num_protocols, 0);
-    std::vector<uint64_t> within_slack(num_protocols, 0);
-    RunningStat oracle_low;
-    RunningStat oracle_high;
+  for (size_t f = 0; f < faults.size(); ++f) {
+    const std::string fault_label = sim::FaultSpecLabel(faults[f]);
+    for (size_t ri = 0; ri < removals.size(); ++ri) {
+      std::vector<RunningStat> value(num_protocols);
+      std::vector<RunningStat> messages(num_protocols);
+      std::vector<RunningStat> time_cost(num_protocols);
+      std::vector<RunningStat> max_processed(num_protocols);
+      std::vector<uint64_t> within(num_protocols, 0);
+      std::vector<uint64_t> within_slack(num_protocols, 0);
+      RunningStat oracle_low;
+      RunningStat oracle_high;
 
-    for (uint32_t t = 0; t < options.trials; ++t) {
-      for (size_t p = 0; p < num_protocols; ++p, ++i) {
-        const CellRun& run = runs[i];
-        value[p].Add(run.value);
-        messages[p].Add(run.messages);
-        time_cost[p].Add(run.time_cost);
-        max_processed[p].Add(run.max_processed);
-        if (run.within) ++within[p];
-        if (run.within_slack) ++within_slack[p];
-        if (p == 0) {
-          // Identical churn => identical oracle interval across protocols.
-          oracle_low.Add(run.q_low);
-          oracle_high.Add(run.q_high);
+      for (uint32_t t = 0; t < options.trials; ++t) {
+        for (size_t p = 0; p < num_protocols; ++p, ++i) {
+          const CellRun& run = runs[i];
+          value[p].Add(run.value);
+          messages[p].Add(run.messages);
+          time_cost[p].Add(run.time_cost);
+          max_processed[p].Add(run.max_processed);
+          if (run.within) ++within[p];
+          if (run.within_slack) ++within_slack[p];
+          if (p == 0) {
+            // Identical churn => identical oracle interval across protocols.
+            oracle_low.Add(run.q_low);
+            oracle_high.Add(run.q_high);
+          }
         }
       }
-    }
 
-    for (size_t p = 0; p < num_protocols; ++p) {
-      SweepCell cell;
-      cell.protocol = lineup[p].label;
-      cell.removals = removals[ri];
-      cell.value = ToMeanCi(value[p]);
-      cell.messages = ToMeanCi(messages[p]);
-      cell.time_cost = ToMeanCi(time_cost[p]);
-      cell.max_processed = ToMeanCi(max_processed[p]);
-      cell.oracle_low = ToMeanCi(oracle_low);
-      cell.oracle_high = ToMeanCi(oracle_high);
-      cell.within_fraction = static_cast<double>(within[p]) /
-                             static_cast<double>(options.trials);
-      cell.within_slack_fraction = static_cast<double>(within_slack[p]) /
-                                   static_cast<double>(options.trials);
-      cells.push_back(cell);
+      for (size_t p = 0; p < num_protocols; ++p) {
+        SweepCell cell;
+        cell.protocol = lineup[p].label;
+        cell.fault = fault_label;
+        cell.removals = removals[ri];
+        cell.value = ToMeanCi(value[p]);
+        cell.messages = ToMeanCi(messages[p]);
+        cell.time_cost = ToMeanCi(time_cost[p]);
+        cell.max_processed = ToMeanCi(max_processed[p]);
+        cell.oracle_low = ToMeanCi(oracle_low);
+        cell.oracle_high = ToMeanCi(oracle_high);
+        cell.within_fraction = static_cast<double>(within[p]) /
+                               static_cast<double>(options.trials);
+        cell.within_slack_fraction =
+            static_cast<double>(within_slack[p]) /
+            static_cast<double>(options.trials);
+        cells.push_back(cell);
+      }
     }
   }
   return cells;

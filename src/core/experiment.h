@@ -23,9 +23,13 @@ struct ProtocolSpec {
 /// WILDFIRE.
 std::vector<ProtocolSpec> StandardLineup();
 
-/// Aggregated measurements for one (protocol, churn level) cell.
+/// Aggregated measurements for one (fault level, churn level, protocol)
+/// cell.
 struct SweepCell {
   std::string protocol;
+  /// FaultSpecLabel of the cell's fault level ("none" when the sweep has no
+  /// fault axis).
+  std::string fault;
   uint32_t removals = 0;
   MeanCi value;
   MeanCi messages;
@@ -48,14 +52,20 @@ struct ChurnSweepOptions {
   /// returned vector is bit-identical at any thread count.
   uint32_t threads = 0;
   sim::SimOptions sim_options;
+  /// Fault-plane sweep axis (sim/fault.h): each entry is one level of the
+  /// degradation surface. Empty = a single fault-free level, which keeps
+  /// existing callers unchanged. A level's spec.seed is re-mixed with each
+  /// cell's churn seed, so trials draw independent fault schedules while
+  /// every protocol within one (level, trial) faces the same faults.
+  std::vector<sim::FaultSpec> fault_levels;
 };
 
-/// Runs every protocol at every churn level. Within one (level, trial) pair
-/// all protocols face the *same* departure schedule, as a fair comparison
-/// requires. Returns cells in (removals-major, protocol-minor) order.
-/// Independent (level, trial, protocol) runs execute concurrently on
-/// options.threads workers (see core/sweep.h); output does not depend on
-/// the thread count.
+/// Runs every protocol at every (fault level, churn level). Within one
+/// (fault, churn, trial) triple all protocols face the *same* departure and
+/// fault schedules, as a fair comparison requires. Returns cells in
+/// (fault-major, removals-major, protocol-minor) order. Independent grid
+/// runs execute concurrently on options.threads workers (see core/sweep.h);
+/// output does not depend on the thread count.
 std::vector<SweepCell> RunChurnSweep(const QueryEngine& engine,
                                      const QuerySpec& spec, HostId hq,
                                      const std::vector<ProtocolSpec>& lineup,

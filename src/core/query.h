@@ -9,6 +9,7 @@
 #include "common/aggregate.h"
 #include "common/types.h"
 #include "protocols/factory.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace validity::core {
@@ -43,6 +44,11 @@ struct RunConfig {
   /// Seeds: same seeds => bit-identical run.
   uint64_t churn_seed = 1;
   uint64_t sketch_seed = 2;
+  /// Deterministic fault plane (sim/fault.h): lossy links and byzantine
+  /// hosts. Default-constructed = disabled (the allocation-free hot path).
+  /// Like the churn fields, concurrent queries on one session must agree
+  /// on it — the faults are part of the shared network timeline.
+  sim::FaultSpec fault;
   /// Compute the ORACLE validity interval and the exact full aggregate
   /// after the run. Both are O(network) ground-truth passes; million-host
   /// scenarios that only touch a small disc of the graph turn this off so

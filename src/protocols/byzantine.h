@@ -1,0 +1,73 @@
+// Protocol-aware byzantine message corruption (sim/fault.h's mutator).
+//
+// The fault plane keeps protocol internals untouched: a byzantine host is an
+// ordinary host whose outgoing traffic is rewritten at each receiver's
+// doorstep by a ByzantineInterposer. This file supplies the standard
+// mutator implementing the three ByzantineMode behaviors against the
+// repo's wire formats:
+//
+//  - kInflate merges phantom contributions into every forwarded aggregate:
+//    pooled AggregateBody payloads get a precomputed inflation aggregate
+//    OR-merged in (FM sketches are duplicate-insensitive, so the attack
+//    must add *new* phantom elements, not replay old ones); inline scalar
+//    payloads (wildfire min/max, gossip push-sum mass, spanning-tree exact
+//    partials) get extreme values or padded counts.
+//  - kDeadenReplies suppresses reply-channel traffic (local kind >= 2 by
+//    the repo-wide channel convention: 1 = dissemination, >= 2 = replies /
+//    reports / pushes) while letting dissemination through — the host
+//    helps spread the query but swallows every answer routed through it.
+//  - kStaleReplay remembers the first payload each byzantine host sends
+//    per message kind and replays it in place of all later ones — stale
+//    version numbers, stale partial aggregates.
+//
+// Mutation runs on the fault path only, so it may allocate (MakeHeapBody);
+// the no-fault hot path never constructs a mutator. Shared message bodies
+// are never mutated in place — corrupted aggregates always travel in a
+// fresh body, because the original is shared with other in-flight
+// deliveries of the same fan-out.
+
+#ifndef VALIDITY_PROTOCOLS_BYZANTINE_H_
+#define VALIDITY_PROTOCOLS_BYZANTINE_H_
+
+#include <unordered_map>
+
+#include "protocols/combiner.h"
+#include "protocols/factory.h"
+#include "sim/fault.h"
+
+namespace validity::protocols {
+
+class StandardByzantineMutator : public sim::ByzantineMutator {
+ public:
+  /// `protocol` and `combiner` describe the run whose traffic is being
+  /// corrupted; `num_hosts` anchors phantom host ids above the real id
+  /// range. Construction precomputes the kInflate aggregate (O(phantoms)
+  /// sketch insertions); the per-message path is mutation only.
+  StandardByzantineMutator(ProtocolKind protocol, const sim::FaultSpec& spec,
+                           CombinerKind combiner,
+                           const sketch::FmParams& fm, uint32_t num_hosts);
+
+  bool MutateFromByzantine(HostId src, sim::Message* msg) override;
+
+ private:
+  void Inflate(sim::Message* msg);
+  void StaleReplay(HostId src, sim::Message* msg);
+
+  struct CachedPayload {
+    uint32_t inline_bytes = 0;
+    unsigned char inline_data[sim::kInlinePayloadBytes] = {};
+    sim::BodyRef body;
+  };
+
+  ProtocolKind protocol_;
+  sim::FaultSpec spec_;
+  CombinerKind combiner_;
+  uint32_t phantoms_ = 0;
+  PartialAggregate inflation_;
+  /// kStaleReplay: first payload seen per (kind << 32 | src).
+  std::unordered_map<uint64_t, CachedPayload> stale_cache_;
+};
+
+}  // namespace validity::protocols
+
+#endif  // VALIDITY_PROTOCOLS_BYZANTINE_H_

@@ -14,6 +14,8 @@ const char* ProtocolKindName(ProtocolKind kind) {
       return "dag";
     case ProtocolKind::kWildfire:
       return "wildfire";
+    case ProtocolKind::kGossip:
+      return "gossip";
   }
   return "?";
 }
@@ -37,6 +39,9 @@ std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,
     case ProtocolKind::kWildfire:
       return std::make_unique<WildfireProtocol>(sim, std::move(ctx),
                                                 options.wildfire);
+    case ProtocolKind::kGossip:
+      return std::make_unique<GossipProtocol>(sim, std::move(ctx),
+                                              options.gossip);
   }
   VALIDITY_CHECK(false, "unknown protocol kind");
   return nullptr;
@@ -65,6 +70,10 @@ void ResetProtocol(ProtocolBase* protocol, ProtocolKind kind, QueryContext ctx,
     case ProtocolKind::kWildfire:
       static_cast<WildfireProtocol*>(protocol)->ResetForQuery(
           std::move(ctx), options.wildfire);
+      return;
+    case ProtocolKind::kGossip:
+      static_cast<GossipProtocol*>(protocol)->ResetForQuery(std::move(ctx),
+                                                            options.gossip);
       return;
   }
   VALIDITY_CHECK(false, "unknown protocol kind");

@@ -7,6 +7,7 @@
 
 #include "protocols/all_report.h"
 #include "protocols/dag.h"
+#include "protocols/gossip.h"
 #include "protocols/protocol.h"
 #include "protocols/randomized_report.h"
 #include "protocols/spanning_tree.h"
@@ -20,6 +21,7 @@ enum class ProtocolKind : uint8_t {
   kSpanningTree,
   kDag,
   kWildfire,
+  kGossip,
 };
 
 const char* ProtocolKindName(ProtocolKind kind);
@@ -31,6 +33,7 @@ struct ProtocolOptions {
   DagOptions dag;
   AllReportOptions all_report;
   RandomizedReportOptions randomized;
+  GossipOptions gossip;
 };
 
 std::unique_ptr<ProtocolBase> MakeProtocol(ProtocolKind kind,

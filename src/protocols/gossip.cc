@@ -12,6 +12,16 @@ GossipProtocol::GossipProtocol(sim::Simulator* sim, QueryContext ctx,
   VALIDITY_CHECK(options_.rounds >= 1, "gossip needs at least one round");
 }
 
+void GossipProtocol::ResetForQuery(QueryContext ctx,
+                                   const GossipOptions& options) {
+  VALIDITY_CHECK(options.rounds >= 1, "gossip needs at least one round");
+  options_ = options;
+  // Re-seed: a reused instance must draw the exact partner sequence a fresh
+  // construction would.
+  partner_rng_ = Rng(Mix64(options.partner_seed));
+  ProtocolBase::ResetForQuery(std::move(ctx));
+}
+
 double GossipProtocol::LocalEstimate(HostId h) const {
   const HostState* st = states_.Find(h);
   if (st == nullptr || !st->active) return 0.0;

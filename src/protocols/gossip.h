@@ -43,6 +43,10 @@ class GossipProtocol : public ProtocolBase {
 
   void Start(HostId hq) override;
   void OnMessage(HostId self, const sim::Message& msg) override;
+  /// Session reuse: rebind context + options and re-seed the partner
+  /// stream, so a reused instance's partner picks replay a fresh one's
+  /// bit-for-bit (see ProtocolBase).
+  void ResetForQuery(QueryContext ctx, const GossipOptions& options);
   std::string_view name() const override { return "gossip"; }
   size_t ResidentStateBytes() const override {
     return states_.ResidentBytes();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/fault.h"
+
 namespace validity::sim {
 
 Simulator::Simulator(const topology::Topology& topology, SimOptions options)
@@ -70,7 +72,12 @@ void Simulator::Reset() {
   // fresh simulator's). Payload references must be dropped: a recycled slot
   // is only body-reset when it leaves the free list, and slab_used_ = 0
   // abandons the list.
-  for (uint32_t i = 0; i < slab_used_; ++i) SlotAt(i).msg.body.reset();
+  for (uint32_t i = 0; i < slab_used_; ++i) {
+    // Fault-duplicated and fault-delayed deliveries hold extra refs; the
+    // queue drain above must have released every one of them.
+    VALIDITY_DCHECK(SlotAt(i).refs == 0);
+    SlotAt(i).msg.body.reset();
+  }
   slab_used_ = 0;
   free_head_ = kNoFreeSlot;
   // Runtime joins truncate away; liveness rewinds by epoch (failed hosts'
@@ -85,6 +92,8 @@ void Simulator::Reset() {
   metrics_.Reset(base_hosts_);
   instance_metrics_.clear();
   program_ = nullptr;
+  fault_ = nullptr;
+  fault_armed_ = false;
 }
 
 void Simulator::AttachInstanceMetrics(uint32_t instance_id, Metrics* metrics) {
@@ -294,8 +303,15 @@ void Simulator::SendTo(HostId from, HostId to, Message msg) {
   if (!IsAlive(from)) return;  // failed hosts send nothing
   msg.src = from;
   msg.dst = to;
-  Trace(TraceEventKind::kSend, from, to, msg.kind);
-  MetricsFor(msg.kind).RecordSend(Now(), msg.SizeBytes());
+  uint32_t kind = msg.kind;
+  Trace(TraceEventKind::kSend, from, to, kind);
+  MetricsFor(kind).RecordSend(Now(), msg.SizeBytes());
+  if (__builtin_expect(fault_armed_, 0)) {
+    uint32_t slot = AcquireMessageSlot(std::move(msg), 2);  // +1 guard ref
+    FaultDeliver(Now() + options_.delta, to, from, slot, kind);
+    DropSlotRef(slot);
+    return;
+  }
   uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
   queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
                        slot, 0);
@@ -313,29 +329,43 @@ void Simulator::SendToNeighbors(HostId from, Message msg) {
   SimTime arrive = Now() + options_.delta;
   size_t bytes = msg.SizeBytes();
   Metrics& metrics = MetricsFor(msg.kind);
+  // With a fault plane installed, one guard ref keeps the slot alive while
+  // per-receiver fates (which may drop mid-fan-out) adjust the count.
+  uint32_t guard = fault_armed_ ? 1u : 0u;
+  uint32_t kind = msg.kind;
   if (options_.medium == MediumKind::kWireless) {
-    // One transmission; every alive neighbor hears it.
-    Trace(TraceEventKind::kSend, from, kInvalidHost, msg.kind);
+    // One transmission; every alive neighbor hears it (a per-receiver link
+    // fate models each receiver's local reception of the broadcast).
+    Trace(TraceEventKind::kSend, from, kInvalidHost, kind);
     metrics.RecordSend(Now(), bytes);
     if (alive_nbrs == 0) return;
-    uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs);
+    uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs + guard);
     for (HostId nb : nbrs) {
       if (!IsAlive(nb)) continue;
-      queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
+      if (__builtin_expect(fault_armed_, 0)) {
+        FaultDeliver(arrive, nb, from, slot, kind);
+      } else {
+        queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
+      }
     }
+    if (guard != 0) DropSlotRef(slot);
     return;
   }
   // Point-to-point: one charged message per alive neighbor, one shared
   // payload slot — zero allocations per neighbor.
   if (alive_nbrs == 0) return;
-  uint32_t kind = msg.kind;
-  uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs);
+  uint32_t slot = AcquireMessageSlot(std::move(msg), alive_nbrs + guard);
   for (HostId nb : nbrs) {
     if (!IsAlive(nb)) continue;
     Trace(TraceEventKind::kSend, from, nb, kind);
     metrics.RecordSend(Now(), bytes);
-    queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
+    if (__builtin_expect(fault_armed_, 0)) {
+      FaultDeliver(arrive, nb, from, slot, kind);
+    } else {
+      queue_.ScheduleTyped(arrive, EventTag::kDeliver, nb, from, slot, 0);
+    }
   }
+  if (guard != 0) DropSlotRef(slot);
 }
 
 void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
@@ -347,14 +377,20 @@ void Simulator::SendToEach(HostId from, Message msg, const HostId* targets,
   size_t bytes = msg.SizeBytes();
   uint32_t kind = msg.kind;
   Metrics& metrics = MetricsFor(kind);
-  uint32_t slot = AcquireMessageSlot(std::move(msg), count);
+  uint32_t guard = fault_armed_ ? 1u : 0u;
+  uint32_t slot = AcquireMessageSlot(std::move(msg), count + guard);
   for (uint32_t i = 0; i < count; ++i) {
     HostId to = targets[i];
     VALIDITY_DCHECK(to < num_hosts_ && IsAlive(to));
     Trace(TraceEventKind::kSend, from, to, kind);
     metrics.RecordSend(Now(), bytes);
-    queue_.ScheduleTyped(arrive, EventTag::kDeliver, to, from, slot, 0);
+    if (__builtin_expect(fault_armed_, 0)) {
+      FaultDeliver(arrive, to, from, slot, kind);
+    } else {
+      queue_.ScheduleTyped(arrive, EventTag::kDeliver, to, from, slot, 0);
+    }
   }
+  if (guard != 0) DropSlotRef(slot);
 }
 
 void Simulator::SendDirect(HostId from, HostId to, Message msg) {
@@ -364,11 +400,47 @@ void Simulator::SendDirect(HostId from, HostId to, Message msg) {
   if (!IsAlive(from)) return;
   msg.src = from;
   msg.dst = to;
-  Trace(TraceEventKind::kSend, from, to, msg.kind);
-  MetricsFor(msg.kind).RecordSend(Now(), msg.SizeBytes());
+  uint32_t kind = msg.kind;
+  Trace(TraceEventKind::kSend, from, to, kind);
+  MetricsFor(kind).RecordSend(Now(), msg.SizeBytes());
+  if (__builtin_expect(fault_armed_, 0)) {
+    uint32_t slot = AcquireMessageSlot(std::move(msg), 2);  // +1 guard ref
+    FaultDeliver(Now() + options_.delta, to, from, slot, kind);
+    DropSlotRef(slot);
+    return;
+  }
   uint32_t slot = AcquireMessageSlot(std::move(msg), 1);
   queue_.ScheduleTyped(Now() + options_.delta, EventTag::kDeliver, to, from,
                        slot, 0);
+}
+
+void Simulator::InstallFaults(const FaultSpec* spec) {
+  fault_ = spec;
+  // A spec with all-zero link rates cannot change any delivery's fate
+  // (DecideLinkFate draws compare against 0.0), so leave the fate machinery
+  // disarmed: installed-but-idle is bit-identical to absent and costs the
+  // same single predicted-not-taken test per delivery.
+  fault_armed_ = spec != nullptr && spec->HasLinkFaults();
+}
+
+void Simulator::FaultDeliver(SimTime arrive, HostId to, HostId from,
+                             uint32_t slot, uint32_t kind) {
+  LinkFate fate =
+      DecideLinkFate(*fault_, from, to, Now(), kind & kLocalKindMask);
+  if (fate.drop) {
+    Trace(TraceEventKind::kDrop, from, to, kind);
+    // The caller's guard ref keeps the slot alive even if this was the last
+    // pending target of a fan-out.
+    --SlotAt(slot).refs;
+    return;
+  }
+  queue_.ScheduleTyped(arrive + fate.delay_hops * options_.delta,
+                       EventTag::kDeliver, to, from, slot, 0);
+  if (fate.duplicate) {
+    ++SlotAt(slot).refs;
+    queue_.ScheduleTyped(arrive + fate.duplicate_delay_hops * options_.delta,
+                         EventTag::kDeliver, to, from, slot, 0);
+  }
 }
 
 void Simulator::ScheduleTimer(HostId h, SimTime t, uint64_t timer_id) {

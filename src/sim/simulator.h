@@ -53,6 +53,8 @@
 
 namespace validity::sim {
 
+struct FaultSpec;  // sim/fault.h
+
 /// FailureTime() of a host that never failed.
 inline constexpr SimTime kNeverFails = std::numeric_limits<SimTime>::infinity();
 
@@ -338,6 +340,17 @@ class Simulator {
   /// Binds the protocol receiving callbacks. Exactly one program at a time.
   void AttachProgram(HostProgram* program) { program_ = program; }
 
+  /// Installs the deterministic link-fault plane (sim/fault.h): every
+  /// subsequent in-flight delivery's fate — drop, duplicate, extra delay —
+  /// is decided by a stateless hash of the spec's seed and the delivery's
+  /// coordinates. `spec` must outlive the attachment; pass nullptr to
+  /// remove. Cleared by Reset(). With no spec installed — or a spec whose
+  /// link rates are all zero, which cannot change any delivery's fate — the
+  /// send paths pay one predicted-not-taken test and nothing else
+  /// (BM_WildfireCountQueryFaultIdle vs BM_WildfireCountQuery pins this).
+  void InstallFaults(const FaultSpec* spec);
+  const FaultSpec* faults() const { return fault_; }
+
   /// Sends one message from `from` to `to` (must be neighbors). Dropped
   /// silently (and not charged) if `from` is dead; charged but undelivered
   /// if `to` dies before the delivery instant.
@@ -413,6 +426,19 @@ class Simulator {
   }
   uint32_t AcquireMessageSlot(Message&& msg, uint32_t refs);
   void ReleaseMessageSlot(uint32_t index);
+  void DropSlotRef(uint32_t index) {
+    MessageSlot& slot = SlotAt(index);
+    if (--slot.refs == 0) ReleaseMessageSlot(index);
+  }
+
+  /// Faulted delivery scheduling: consults DecideLinkFate and schedules
+  /// zero (drop), one, or two (duplicate) kDeliver events for `slot`,
+  /// adjusting slot.refs from its pre-charged one-ref-per-target baseline.
+  /// The caller holds a guard ref, so a drop can decrement refs mid-fan-out
+  /// without freeing the slot. Cold: only runs with a FaultSpec installed.
+  __attribute__((cold, noinline)) void FaultDeliver(SimTime arrive, HostId to,
+                                                    HostId from, uint32_t slot,
+                                                    uint32_t kind);
 
   void DeliverTo(HostId to, const Message& msg);
   void CheckEventBudget() const;
@@ -485,6 +511,10 @@ class Simulator {
   uint32_t slab_used_ = 0;
   uint32_t free_head_ = kNoFreeSlot;
   HostProgram* program_ = nullptr;
+  const FaultSpec* fault_ = nullptr;
+  // fault_ != nullptr && fault_->HasLinkFaults(), cached at install time so
+  // the per-delivery branch is one flag test and an idle spec costs nothing.
+  bool fault_armed_ = false;
   TraceRecorder* trace_ = nullptr;
   Metrics metrics_;
 };

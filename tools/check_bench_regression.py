@@ -12,6 +12,13 @@ new binaries side by side and alternate runs), not an automatic failure.
 Pass --strict to turn regressions into a non-zero exit, e.g. on a dedicated
 perf runner.
 
+Thread-scaling benchmarks ("threads:N" in the name, e.g.
+BM_ChurnSweep/threads:4) are only comparable when both machines can actually
+run N workers: a baseline recorded on a 1-core VM serializes every thread
+count, so its threads:4 number would flag a healthy multicore run (or mask a
+real regression). Entries whose N exceeds the *smaller* of the two runs'
+num_cpus are skipped with a note instead of compared.
+
 Usage:
   tools/check_bench_regression.py --fresh fresh.json \
       [--baseline BENCH_micro.json] [--threshold 1.5] [--strict]
@@ -22,11 +29,12 @@ are listed informationally and never fail the check.
 
 import argparse
 import json
+import re
 import sys
 
 
 def load_benchmarks(path):
-    """name -> (real_time, time_unit) for every benchmark in a gbench JSON."""
+    """Returns (name -> (real_time, time_unit), context_num_cpus)."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
@@ -36,14 +44,23 @@ def load_benchmarks(path):
             continue
         out[bench["name"]] = (float(bench["real_time"]),
                               bench.get("time_unit", "ns"))
-    return out
+    num_cpus = doc.get("context", {}).get("num_cpus", 0)
+    return out, int(num_cpus) if num_cpus else 0
 
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+THREADS_ARG_RE = re.compile(r"(?:^|/)threads:(\d+)(?:/|$)")
+
 
 def to_ns(value, unit):
     return value * UNIT_NS.get(unit, 1.0)
+
+
+def benchmark_threads(name):
+    """The N of a "threads:N" name component, or None."""
+    match = THREADS_ARG_RE.search(name)
+    return int(match.group(1)) if match else None
 
 
 def main():
@@ -59,13 +76,25 @@ def main():
                         help="exit non-zero when regressions are found")
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    fresh = load_benchmarks(args.fresh)
+    baseline, base_cpus = load_benchmarks(args.baseline)
+    fresh, fresh_cpus = load_benchmarks(args.fresh)
+
+    # A thread count both machines can truly parallelize; 0 = unknown
+    # context, compare everything (old-format JSONs).
+    comparable_cpus = 0
+    if base_cpus and fresh_cpus:
+        comparable_cpus = min(base_cpus, fresh_cpus)
 
     regressions = []
     improvements = []
+    skipped_threads = []
     common = sorted(set(baseline) & set(fresh))
     for name in common:
+        threads = benchmark_threads(name)
+        if threads is not None and comparable_cpus and \
+                threads > comparable_cpus:
+            skipped_threads.append((name, threads))
+            continue
         base_ns = to_ns(*baseline[name])
         fresh_ns = to_ns(*fresh[name])
         if base_ns <= 0:
@@ -79,8 +108,12 @@ def main():
     only_base = sorted(set(baseline) - set(fresh))
     only_fresh = sorted(set(fresh) - set(baseline))
 
-    print(f"compared {len(common)} benchmarks "
+    print(f"compared {len(common) - len(skipped_threads)} benchmarks "
           f"(threshold {args.threshold:.2f}x)")
+    if skipped_threads:
+        names = ", ".join(name for name, _ in skipped_threads)
+        print(f"skipped (threads exceed min(num_cpus)={comparable_cpus}, "
+              f"not comparable across machines): {names}")
     if only_fresh:
         print(f"new since baseline (ignored): {', '.join(only_fresh)}")
     if only_base:
