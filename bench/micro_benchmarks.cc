@@ -8,6 +8,7 @@
 #include "common/zipf.h"
 #include "core/engine.h"
 #include "core/experiment.h"
+#include "core/query_service.h"
 #include "core/sweep.h"
 #include "protocols/combiner.h"
 #include "sim/churn.h"
@@ -375,6 +376,39 @@ void BM_SessionReuse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SessionReuse)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_QueryServiceThroughput(benchmark::State& state) {
+  // The open-arrival layer end to end: Arg queries submitted against one
+  // churning service timeline (staggered arrivals, lane cap 4) and drained
+  // to completion. The gap to Arg x BM_SessionReuse is the service's own
+  // overhead: admission, arrival/retirement closures, lane multiplexing,
+  // and trace recording. Items/s is queries per second.
+  auto graph = topology::MakeRandom(1000, 5.0, 42);
+  core::QueryEngine engine(&*graph, core::MakeZipfValues(graph->num_hosts(),
+                                                         43));
+  core::QuerySpec spec;
+  spec.aggregate = AggregateKind::kCount;
+  spec.fm_vectors = 16;
+  core::ServiceOptions options;
+  options.max_in_flight = 4;
+  const uint64_t queries = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::QueryService service(&engine, options);
+    for (uint64_t i = 0; i < queries; ++i) {
+      core::RunConfig config;
+      config.sketch_seed = 100 + i;
+      auto id = service.Submit(static_cast<SimTime>(i) * 0.5, spec, config,
+                               /*hq=*/0);
+      benchmark::DoNotOptimize(id.value());
+    }
+    service.Drain();
+    core::QueryService::Completion done;
+    while (service.Poll(&done)) benchmark::DoNotOptimize(done.result.value);
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+}
+BENCHMARK(BM_QueryServiceThroughput)
+    ->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_MillionHostSecondQuery(benchmark::State& state) {
   // The session payoff at scale: BM_MillionHostActivation measures the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/zipf.h"
+#include "core/run_internal.h"
 #include "protocols/byzantine.h"
 #include "protocols/factory.h"
 #include "sim/churn.h"
@@ -11,40 +12,9 @@
 
 namespace validity::core {
 
-namespace {
-
-/// Per-run byzantine interposition state: the mutator + interposer pair
-/// wrapping a protocol's HostProgram when the config asks for byzantine
-/// hosts. Owned by the run, destroyed after the simulator stops dispatching.
-struct ByzantineRig {
-  std::unique_ptr<protocols::StandardByzantineMutator> mutator;
-  std::unique_ptr<sim::ByzantineInterposer> interposer;
-};
-
-/// The program the simulator (or the session mux lane) should dispatch to:
-/// `inner` directly, or a byzantine interposer wrapping it. `fault` must
-/// outlive the run (it lives in the caller's RunConfig).
-sim::HostProgram* MaybeInterpose(protocols::ProtocolKind kind,
-                                 const sim::FaultSpec& fault,
-                                 protocols::CombinerKind combiner,
-                                 const sketch::FmParams& fm,
-                                 uint32_t num_hosts, sim::HostProgram* inner,
-                                 HostId hq, ByzantineRig* rig) {
-  if (!fault.HasByzantine()) return inner;
-  rig->mutator = std::make_unique<protocols::StandardByzantineMutator>(
-      kind, fault, combiner, fm, num_hosts);
-  rig->interposer = std::make_unique<sim::ByzantineInterposer>(
-      &fault, rig->mutator.get(), inner, hq);
-  return rig->interposer.get();
-}
-
-/// Link faults install when any rate is live (or a bench explicitly asks
-/// for the installed-but-idle path).
-bool ShouldInstallLinkFaults(const sim::FaultSpec& fault) {
-  return fault.HasLinkFaults() || fault.install_idle;
-}
-
-}  // namespace
+using internal::ByzantineRig;
+using internal::MaybeInterpose;
+using internal::ShouldInstallLinkFaults;
 
 QueryEngine::QueryEngine(const topology::Graph* graph,
                          std::vector<double> values)

@@ -161,6 +161,12 @@ class QueryEngine {
   }
 
  private:
+  /// The open query-arrival layer reuses the engine's per-run machinery
+  /// (PlanRun validation, churn scheduling, protocol acquisition, result
+  /// harvest) so a service lane is bit-identical to a solo run by
+  /// construction (core/query_service.h).
+  friend class QueryService;
+
   /// Everything derived from (spec, config, hq) before a run starts.
   struct RunPlan {
     double d_hat = 0.0;

@@ -1,0 +1,53 @@
+// Per-run rigging shared by the engine's Run flavors and the QueryService:
+// byzantine interposition and the link-fault install test. Internal to
+// core/ — the pieces a lane needs to look exactly like a solo run, factored
+// out so the open-arrival service reuses the engine's machinery instead of
+// re-deriving it.
+
+#ifndef VALIDITY_CORE_RUN_INTERNAL_H_
+#define VALIDITY_CORE_RUN_INTERNAL_H_
+
+#include <memory>
+
+#include "protocols/byzantine.h"
+#include "protocols/factory.h"
+#include "sim/fault.h"
+
+namespace validity::core::internal {
+
+/// Per-run byzantine interposition state: the mutator + interposer pair
+/// wrapping a protocol's HostProgram when the config asks for byzantine
+/// hosts. Owned by the run (or the service lane), destroyed after the
+/// simulator stops dispatching to it.
+struct ByzantineRig {
+  std::unique_ptr<protocols::StandardByzantineMutator> mutator;
+  std::unique_ptr<sim::ByzantineInterposer> interposer;
+};
+
+/// The program the simulator (or the session mux lane) should dispatch to:
+/// `inner` directly, or a byzantine interposer wrapping it. `fault` must
+/// outlive the run (it lives in the caller's RunConfig).
+inline sim::HostProgram* MaybeInterpose(protocols::ProtocolKind kind,
+                                        const sim::FaultSpec& fault,
+                                        protocols::CombinerKind combiner,
+                                        const sketch::FmParams& fm,
+                                        uint32_t num_hosts,
+                                        sim::HostProgram* inner, HostId hq,
+                                        ByzantineRig* rig) {
+  if (!fault.HasByzantine()) return inner;
+  rig->mutator = std::make_unique<protocols::StandardByzantineMutator>(
+      kind, fault, combiner, fm, num_hosts);
+  rig->interposer = std::make_unique<sim::ByzantineInterposer>(
+      &fault, rig->mutator.get(), inner, hq);
+  return rig->interposer.get();
+}
+
+/// Link faults install when any rate is live (or a bench explicitly asks
+/// for the installed-but-idle path).
+inline bool ShouldInstallLinkFaults(const sim::FaultSpec& fault) {
+  return fault.HasLinkFaults() || fault.install_idle;
+}
+
+}  // namespace validity::core::internal
+
+#endif  // VALIDITY_CORE_RUN_INTERNAL_H_

@@ -72,16 +72,24 @@ void EventQueue::MapErase(uint64_t key) {
   --map_used_;
 }
 
-uint32_t EventQueue::BucketFor(SimTime t) {
+uint32_t EventQueue::BucketFor(SimTime t, bool bulk) {
   VALIDITY_DCHECK(t >= now_, "event scheduled in the past (%f < %f)", t, now_);
   t += 0.0;  // normalize -0.0 so bit-pattern keys compare equal
   uint64_t key = TimeKey(t);
   uint32_t* cell = MapFindOrInsert(key);
   if (*cell != kNil) return *cell;
   uint32_t index;
-  if (free_bucket_ != kNil) {
-    index = free_bucket_;
-    free_bucket_ = buckets_[index].next_free;
+  // Bulk traffic reuses fat storage first; closures take slim buckets and
+  // never steal fat ones (a fresh slim bucket is cheaper than parking a
+  // busy tick's capacity under a sparse far-future timestamp).
+  uint32_t* primary = bulk ? &free_fat_ : &free_slim_;
+  if (*primary != kNil) {
+    index = *primary;
+    *primary = buckets_[index].next_free;
+    if (bulk) --free_fat_count_;
+  } else if (bulk && free_slim_ != kNil) {
+    index = free_slim_;
+    free_slim_ = buckets_[index].next_free;
   } else {
     index = static_cast<uint32_t>(buckets_.size());
     buckets_.emplace_back();
@@ -146,13 +154,28 @@ Event EventQueue::PopNext() {
     // the next timestamp this bucket serves.
     HeapPopTop();
     MapErase(TimeKey(bucket.time));
-    bucket.events.clear();
-    bucket.head = 0;
-    bucket.next_free = free_bucket_;
-    free_bucket_ = index;
+    RecycleBucket(index);
   }
   --size_;
   return event;
+}
+
+void EventQueue::RecycleBucket(uint32_t index) {
+  Bucket& bucket = buckets_[index];
+  bucket.events.clear();
+  bucket.head = 0;
+  if (bucket.events.capacity() > kFatBucketCapacity) {
+    if (free_fat_count_ < kMaxFatFree) {
+      ++free_fat_count_;
+      bucket.next_free = free_fat_;
+      free_fat_ = index;
+      return;
+    }
+    // Enough fat storage is already parked: release this spike.
+    std::vector<Event>().swap(bucket.events);
+  }
+  bucket.next_free = free_slim_;
+  free_slim_ = index;
 }
 
 void EventQueue::ScheduleAt(SimTime t, Action action) {
@@ -165,7 +188,7 @@ void EventQueue::ScheduleAt(SimTime t, Action action) {
     slot = static_cast<uint32_t>(generic_pool_.size());
     generic_pool_.push_back(std::move(action));
   }
-  uint32_t bucket = BucketFor(t);
+  uint32_t bucket = BucketFor(t, /*bulk=*/false);
   buckets_[bucket].events.push_back(
       Event{0, kInvalidHost, kInvalidHost, slot, EventTag::kGeneric});
   ++size_;
@@ -174,7 +197,7 @@ void EventQueue::ScheduleAt(SimTime t, Action action) {
 void EventQueue::ScheduleTyped(SimTime t, EventTag tag, HostId a, HostId b,
                                uint32_t slot, uint64_t payload) {
   VALIDITY_DCHECK(tag != EventTag::kGeneric, "use ScheduleAt for closures");
-  uint32_t bucket = BucketFor(t);
+  uint32_t bucket = BucketFor(t, /*bulk=*/true);
   buckets_[bucket].events.push_back(Event{payload, a, b, slot, tag});
   ++size_;
 }
@@ -242,10 +265,7 @@ void EventQueue::Clear(const std::function<void(const Event&)>& on_discard) {
       }
     }
     MapErase(TimeKey(bucket.time));
-    bucket.events.clear();
-    bucket.head = 0;
-    bucket.next_free = free_bucket_;
-    free_bucket_ = index;
+    RecycleBucket(index);
   }
   heap_.clear();
   size_ = 0;

@@ -124,13 +124,28 @@ class EventQueue {
 
   /// FIFO of every event scheduled for one timestamp. Drained buckets keep
   /// their vector capacity and return to a free list, so steady-state
-  /// scheduling recycles storage instead of allocating.
+  /// scheduling recycles storage instead of allocating. Free buckets are
+  /// segregated by capacity class: bulk traffic (typed deliveries/timers,
+  /// thousands per busy tick) reuses fat storage, while sparse closure
+  /// timestamps (a service timeline can hold hundreds of pending arrival
+  /// and retirement closures at once) get slim buckets — otherwise the fat
+  /// storage of drained busy ticks migrates into long-lived sparse buckets
+  /// and the queue's resident bytes inflate to O(pending timestamps x
+  /// busiest tick) (tests/service_stress_test.cc pins this down).
   struct Bucket {
     SimTime time = 0;
     uint32_t head = 0;       // next event to run
     uint32_t next_free = kNil;
     std::vector<Event> events;
   };
+
+  /// Capacity above which a drained bucket is recycled on the fat list.
+  static constexpr size_t kFatBucketCapacity = 256;
+  /// Fat buckets kept warm for reuse. A steady simulation only ever builds
+  /// a handful of bulk timestamps concurrently (deliveries and timers land
+  /// within a few hops of now), so anything beyond this is a one-shot
+  /// spike whose storage is released on recycle rather than parked.
+  static constexpr size_t kMaxFatFree = 8;
 
   /// Open-addressed timestamp -> bucket map (linear probing, backward-shift
   /// deletion). `bucket == kNil` marks an empty cell.
@@ -144,13 +159,15 @@ class EventQueue {
   void MapErase(uint64_t key);
   void MapGrow();
 
-  uint32_t BucketFor(SimTime t);
+  /// `bulk` hints at the expected population: typed events prefer a fat
+  /// recycled bucket, closures a slim one (and never steal fat storage).
+  uint32_t BucketFor(SimTime t, bool bulk);
+  void RecycleBucket(uint32_t index);
   void HeapPush(uint32_t bucket_index);
   void HeapPopTop();
   Event PopNext();
 
   std::vector<Bucket> buckets_;
-  uint32_t free_bucket_ = kNil;
   /// Active bucket indices, 4-ary min-heap keyed by bucket time. Times in
   /// the heap are distinct, so the time-only comparison is total.
   std::vector<uint32_t> heap_;
@@ -166,6 +183,12 @@ class EventQueue {
   size_t size_ = 0;
   SimTime now_ = 0;
   uint64_t executed_ = 0;
+
+  /// Drained-bucket free lists, segregated by capacity class (see Bucket).
+  /// Cold: touched once per distinct timestamp, never per event.
+  uint32_t free_slim_ = kNil;
+  uint32_t free_fat_ = kNil;
+  size_t free_fat_count_ = 0;
 };
 
 }  // namespace validity::sim

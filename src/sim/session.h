@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -131,6 +132,68 @@ class SimulatorSession {
   std::vector<std::unique_ptr<Metrics>> metrics_lanes_;
   std::vector<Metrics*> metrics_free_;
   std::vector<std::pair<uint32_t, std::unique_ptr<HostProgram>>> parked_;
+};
+
+/// A thread-safe pool of warm session lanes over one shared topology.
+///
+/// Sessions are single-threaded, so multi-threaded drivers (the sweep
+/// runner, service throughput benches) need one session per worker — but
+/// the topology handle itself is immutable and shareable, so the pool
+/// stores it once. Implicit topologies make each lane O(1)-ish to build;
+/// graph-backed ones pay the O(network) build once per lane and then reuse
+/// it for every query that worker runs.
+///
+/// Acquire/Release only hand lanes out and back under a mutex; all actual
+/// simulation happens on the acquired lane, single-threaded, with no
+/// cross-lane sharing. A released lane keeps its warm state (parked
+/// protocols, metrics lanes, paged tables) for the next borrower.
+class SessionPool {
+ public:
+  /// `options` is the structural profile every lane is built with. For
+  /// kGraph topologies the underlying graph must outlive the pool.
+  SessionPool(topology::Topology topology, SimOptions options);
+  SessionPool(const topology::Graph* graph, SimOptions options);
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Returns a free lane, building a new one if all are out. The caller
+  /// owns the lane (single-threaded use) until Release.
+  SimulatorSession* Acquire();
+  /// Returns a lane to the pool. The lane keeps its warm state; the next
+  /// Acquire may hand it to a different thread (Reset() it per query as
+  /// usual — the engine's session overloads already do).
+  void Release(SimulatorSession* session);
+
+  /// Lanes constructed so far (== high-water mark of concurrent borrowers).
+  size_t size() const;
+  const topology::Topology& topology() const { return topo_; }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  topology::Topology topo_;
+  SimOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SimulatorSession>> lanes_;
+  std::vector<SimulatorSession*> free_;
+};
+
+/// RAII lease on a pool lane.
+class SessionLease {
+ public:
+  explicit SessionLease(SessionPool* pool)
+      : pool_(pool), session_(pool->Acquire()) {}
+  ~SessionLease() { pool_->Release(session_); }
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  SimulatorSession* get() { return session_; }
+  SimulatorSession& operator*() { return *session_; }
+  SimulatorSession* operator->() { return session_; }
+
+ private:
+  SessionPool* pool_;
+  SimulatorSession* session_;
 };
 
 }  // namespace validity::sim

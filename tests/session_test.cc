@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/query_service.h"
+#include "fingerprint_matrix.h"
 #include "sim/session.h"
 #include "topology/generators.h"
 
@@ -29,122 +31,6 @@ namespace validity::core {
 namespace {
 
 using protocols::ProtocolKind;
-
-struct Case {
-  const char* label;
-  QuerySpec spec;
-  RunConfig config;
-  HostId hq = 0;
-};
-
-/// The 34-case (spec, config, hq) matrix: every protocol, exact and FM
-/// combiners, all five aggregates, churn, the WILDFIRE option ablations,
-/// report routing, DAG fan-in, tree pacing, and the wireless medium.
-std::vector<Case> FingerprintMatrix() {
-  std::vector<Case> cases;
-  auto add = [&cases](const char* label, ProtocolKind kind,
-                      AggregateKind agg, bool exact, uint32_t removals,
-                      HostId hq) {
-    Case c;
-    c.label = label;
-    c.spec.aggregate = agg;
-    c.spec.exact_combiners = exact;
-    c.config.protocol = kind;
-    c.config.churn_removals = removals;
-    c.hq = hq;
-    cases.push_back(c);
-  };
-
-  // Every protocol: failure-free count, exact and FM combiners. (10)
-  for (auto kind :
-       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
-        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
-        ProtocolKind::kWildfire}) {
-    add("count-exact", kind, AggregateKind::kCount, true, 0, 0);
-    add("count-fm", kind, AggregateKind::kCount, false, 0, 0);
-  }
-  // Every protocol under churn. (5)
-  for (auto kind :
-       {ProtocolKind::kAllReport, ProtocolKind::kRandomizedReport,
-        ProtocolKind::kSpanningTree, ProtocolKind::kDag,
-        ProtocolKind::kWildfire}) {
-    add("count-churn", kind, AggregateKind::kCount, true, 100, 0);
-  }
-  // WILDFIRE across the aggregate vocabulary (min/max ride inline). (4)
-  add("wf-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false, 0, 0);
-  add("wf-min", ProtocolKind::kWildfire, AggregateKind::kMin, false, 0, 0);
-  add("wf-max", ProtocolKind::kWildfire, AggregateKind::kMax, false, 0, 0);
-  add("wf-avg", ProtocolKind::kWildfire, AggregateKind::kAverage, false, 0, 0);
-  // DAG and SPANNINGTREE aggregate coverage. (4)
-  add("dag-sum", ProtocolKind::kDag, AggregateKind::kSum, false, 0, 0);
-  add("dag-min", ProtocolKind::kDag, AggregateKind::kMin, true, 0, 0);
-  add("tree-sum", ProtocolKind::kSpanningTree, AggregateKind::kSum, true, 0,
-      0);
-  add("tree-avg", ProtocolKind::kSpanningTree, AggregateKind::kAverage, true,
-      0, 0);
-  // ALL-REPORT sum + reverse-path routing under churn. (2)
-  add("ar-sum", ProtocolKind::kAllReport, AggregateKind::kSum, true, 0, 0);
-  add("ar-reverse", ProtocolKind::kAllReport, AggregateKind::kCount, true, 60,
-      0);
-  cases.back().config.protocol_options.all_report.routing =
-      protocols::ReportRouting::kReversePath;
-  // WILDFIRE option ablations. (3)
-  add("wf-no-piggyback", ProtocolKind::kWildfire, AggregateKind::kCount,
-      false, 0, 0);
-  cases.back().config.protocol_options.wildfire.piggyback_broadcast = false;
-  add("wf-no-early-term", ProtocolKind::kWildfire, AggregateKind::kCount,
-      false, 50, 0);
-  cases.back().config.protocol_options.wildfire.early_termination = false;
-  add("wf-no-coalesce", ProtocolKind::kWildfire, AggregateKind::kCount, false,
-      0, 0);
-  cases.back().config.protocol_options.wildfire.coalesce_floods = false;
-  // DAG k=3 and eager tree pacing. (2)
-  add("dag-k3", ProtocolKind::kDag, AggregateKind::kCount, true, 80, 0);
-  cases.back().config.protocol_options.dag.max_parents = 3;
-  add("tree-eager", ProtocolKind::kSpanningTree, AggregateKind::kCount, true,
-      80, 0);
-  cases.back().config.protocol_options.spanning_tree.pacing =
-      protocols::TreePacing::kEager;
-  // Wireless medium. (1)
-  add("wf-wireless", ProtocolKind::kWildfire, AggregateKind::kCount, false, 0,
-      0);
-  cases.back().config.sim_options.medium = sim::MediumKind::kWireless;
-  // Churned FM sum + distinct seeds. (1)
-  add("wf-churn-sum", ProtocolKind::kWildfire, AggregateKind::kSum, false,
-      150, 0);
-  cases.back().config.churn_seed = 77;
-  cases.back().config.sketch_seed = 78;
-  // Randomized sum under churn. (1)
-  add("rr-churn-sum", ProtocolKind::kRandomizedReport, AggregateKind::kSum,
-      false, 90, 0);
-  // A different querying host. (1)
-  add("wf-hq7", ProtocolKind::kWildfire, AggregateKind::kCount, false, 40, 7);
-  return cases;
-}
-
-void ExpectIdentical(const QueryResult& a, const QueryResult& b,
-                     const char* label) {
-  SCOPED_TRACE(label);
-  EXPECT_EQ(a.value, b.value);
-  EXPECT_EQ(a.declared, b.declared);
-  EXPECT_EQ(a.d_hat_used, b.d_hat_used);
-  EXPECT_EQ(a.exact_full, b.exact_full);
-  EXPECT_EQ(a.cost.messages, b.cost.messages);
-  EXPECT_EQ(a.cost.bytes, b.cost.bytes);
-  EXPECT_EQ(a.cost.max_processed, b.cost.max_processed);
-  EXPECT_EQ(a.cost.declared_at, b.cost.declared_at);
-  EXPECT_EQ(a.cost.last_update_at, b.cost.last_update_at);
-  EXPECT_EQ(a.cost.sends_per_tick, b.cost.sends_per_tick);
-  EXPECT_EQ(a.cost.computation_histogram.Items(),
-            b.cost.computation_histogram.Items());
-  EXPECT_EQ(a.validity.q_low, b.validity.q_low);
-  EXPECT_EQ(a.validity.q_high, b.validity.q_high);
-  EXPECT_EQ(a.validity.hc_size, b.validity.hc_size);
-  EXPECT_EQ(a.validity.hu_size, b.validity.hu_size);
-  EXPECT_EQ(a.validity.within, b.validity.within);
-  EXPECT_EQ(a.validity.within_slack, b.validity.within_slack);
-  EXPECT_EQ(a.resident_state_bytes, b.resident_state_bytes);
-}
 
 class SessionTest : public ::testing::Test {
  protected:
@@ -161,11 +47,16 @@ TEST_F(SessionTest, FreshAndReusedRunsAreBitIdenticalAcrossTheMatrix) {
   ASSERT_EQ(cases.size(), 34u);
   // One session per structural sim-option set (here: per medium), so every
   // case after the first runs on a simulator the previous cases dirtied.
+  // The service column borrows a second session the same way: each case's
+  // QueryService runs on a timeline warmed (and dirtied) by all previous
+  // service cases.
   std::map<int, std::unique_ptr<sim::SimulatorSession>> sessions;
+  std::map<int, std::unique_ptr<sim::SimulatorSession>> service_sessions;
   for (const Case& c : cases) {
     auto fresh = engine_.Run(c.spec, c.config, c.hq);
     ASSERT_TRUE(fresh.ok()) << c.label;
-    auto& session = sessions[static_cast<int>(c.config.sim_options.medium)];
+    const int medium = static_cast<int>(c.config.sim_options.medium);
+    auto& session = sessions[medium];
     if (session == nullptr) {
       session = std::make_unique<sim::SimulatorSession>(&graph_,
                                                         c.config.sim_options);
@@ -173,10 +64,27 @@ TEST_F(SessionTest, FreshAndReusedRunsAreBitIdenticalAcrossTheMatrix) {
     auto reused = engine_.Run(session.get(), c.spec, c.config, c.hq);
     ASSERT_TRUE(reused.ok()) << c.label;
     ExpectIdentical(*fresh, *reused, c.label);
+
+    // Fourth column: the open query-arrival service. Submitted at t=0 on a
+    // service timeline configured from the query's own config.
+    auto& service_session = service_sessions[medium];
+    if (service_session == nullptr) {
+      service_session = std::make_unique<sim::SimulatorSession>(
+          &graph_, c.config.sim_options);
+    }
+    QueryService service(&engine_, service_session.get(),
+                         ServiceOptionsFor(c.spec, c.config, c.hq));
+    auto id = service.Submit(0.0, c.spec, c.config, c.hq);
+    ASSERT_TRUE(id.ok()) << c.label << ": " << id.status().message();
+    service.Drain();
+    QueryService::Completion done;
+    ASSERT_TRUE(service.Poll(&done)) << c.label;
+    ExpectIdentical(*fresh, done.result, c.label);
   }
-  // The point-to-point session served the bulk of the matrix on one
-  // simulator build.
+  // The point-to-point sessions served the bulk of the matrix on one
+  // simulator build each.
   EXPECT_GT(sessions[0]->epoch(), 25u);
+  EXPECT_GT(service_sessions[0]->epoch(), 25u);
 }
 
 TEST_F(SessionTest, ConcurrentQueriesMatchTheirSoloRuns) {

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (wired into ctest by CMake).
+
+Covers the pieces CI actually leans on: unit normalization, the
+"threads:N" skip logic for cross-machine thread-scaling entries,
+aggregate-row filtering, added/retired benchmark handling, and the
+--strict exit-code contract.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as cbr
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def bench_doc(entries, num_cpus=8):
+    """Builds a google-benchmark JSON document from (name, real_time,
+    time_unit[, run_type]) tuples."""
+    benchmarks = []
+    for entry in entries:
+        bench = {"name": entry[0], "real_time": entry[1],
+                 "time_unit": entry[2]}
+        if len(entry) > 3:
+            bench["run_type"] = entry[3]
+        benchmarks.append(bench)
+    return {"context": {"num_cpus": num_cpus}, "benchmarks": benchmarks}
+
+
+class UnitTests(unittest.TestCase):
+    def test_to_ns_normalizes_every_unit(self):
+        self.assertEqual(cbr.to_ns(2.0, "ns"), 2.0)
+        self.assertEqual(cbr.to_ns(2.0, "us"), 2000.0)
+        self.assertEqual(cbr.to_ns(2.0, "ms"), 2e6)
+        self.assertEqual(cbr.to_ns(2.0, "s"), 2e9)
+        # Unknown units pass through rather than crash (forward compat).
+        self.assertEqual(cbr.to_ns(2.0, "fortnights"), 2.0)
+
+    def test_benchmark_threads_parses_name_components(self):
+        self.assertEqual(cbr.benchmark_threads("BM_Sweep/threads:4"), 4)
+        self.assertEqual(cbr.benchmark_threads("BM_Sweep/100/threads:16"), 16)
+        self.assertIsNone(cbr.benchmark_threads("BM_Sweep/100"))
+        # "threads:" must be its own path component, not a substring.
+        self.assertIsNone(cbr.benchmark_threads("BM_threads:4x"))
+
+    def test_load_benchmarks_skips_aggregates_and_reads_cpus(self):
+        doc = bench_doc([("BM_A", 10.0, "ns"),
+                         ("BM_A_mean", 11.0, "ns", "aggregate"),
+                         ("BM_B", 5.0, "ms")], num_cpus=4)
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            benches, cpus = cbr.load_benchmarks(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(cpus, 4)
+        self.assertEqual(set(benches), {"BM_A", "BM_B"})
+        self.assertEqual(benches["BM_B"], (5.0, "ms"))
+
+
+class CliTests(unittest.TestCase):
+    def run_tool(self, baseline_doc, fresh_doc, *extra_args):
+        """Runs the CLI on two temp JSONs; returns (exit_code, stdout)."""
+        files = []
+        for doc in (baseline_doc, fresh_doc):
+            f = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                            delete=False)
+            json.dump(doc, f)
+            f.close()
+            files.append(f.name)
+        try:
+            proc = subprocess.run(
+                [sys.executable, TOOL, "--baseline", files[0],
+                 "--fresh", files[1], *extra_args],
+                capture_output=True, text=True)
+        finally:
+            for path in files:
+                os.unlink(path)
+        return proc.returncode, proc.stdout
+
+    def test_clean_run_exits_zero(self):
+        base = bench_doc([("BM_A", 100.0, "ns")])
+        fresh = bench_doc([("BM_A", 110.0, "ns")])
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("no benchmark exceeded the threshold", out)
+
+    def test_regression_warns_without_strict(self):
+        base = bench_doc([("BM_A", 100.0, "ns")])
+        fresh = bench_doc([("BM_A", 300.0, "ns")])
+        code, out = self.run_tool(base, fresh)
+        self.assertEqual(code, 0)  # warn-only by default
+        self.assertIn("SLOWER", out)
+
+    def test_regression_fails_with_strict(self):
+        base = bench_doc([("BM_A", 100.0, "ns")])
+        fresh = bench_doc([("BM_A", 300.0, "ns")])
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 1)
+        self.assertIn("SLOWER", out)
+
+    def test_units_normalized_before_comparing(self):
+        # 0.1 ms == 100000 ns: same speed despite different units.
+        base = bench_doc([("BM_A", 100000.0, "ns")])
+        fresh = bench_doc([("BM_A", 0.1, "ms")])
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("no benchmark exceeded the threshold", out)
+
+    def test_threads_beyond_min_cpus_skipped(self):
+        # Baseline machine had 2 CPUs: its threads:4 row serialized, so a
+        # 3x "regression" on an 8-CPU fresh machine must be skipped.
+        base = bench_doc([("BM_Sweep/threads:4", 100.0, "ns"),
+                          ("BM_A", 100.0, "ns")], num_cpus=2)
+        fresh = bench_doc([("BM_Sweep/threads:4", 300.0, "ns"),
+                           ("BM_A", 100.0, "ns")], num_cpus=8)
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("skipped", out)
+        self.assertIn("BM_Sweep/threads:4", out)
+
+    def test_threads_within_min_cpus_compared(self):
+        base = bench_doc([("BM_Sweep/threads:4", 100.0, "ns")], num_cpus=8)
+        fresh = bench_doc([("BM_Sweep/threads:4", 300.0, "ns")], num_cpus=8)
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 1)
+        self.assertIn("SLOWER", out)
+
+    def test_threads_compared_when_cpus_unknown(self):
+        # Old-format JSONs without context.num_cpus compare everything.
+        base = bench_doc([("BM_Sweep/threads:16", 100.0, "ns")], num_cpus=0)
+        fresh = bench_doc([("BM_Sweep/threads:16", 300.0, "ns")], num_cpus=0)
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 1)
+
+    def test_added_and_retired_benchmarks_never_fail(self):
+        base = bench_doc([("BM_Old", 100.0, "ns")])
+        fresh = bench_doc([("BM_New", 100.0, "ns")])
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("new since baseline (ignored): BM_New", out)
+        self.assertIn("missing from fresh run (ignored): BM_Old", out)
+
+    def test_custom_threshold(self):
+        base = bench_doc([("BM_A", 100.0, "ns")])
+        fresh = bench_doc([("BM_A", 130.0, "ns")])
+        code, _ = self.run_tool(base, fresh, "--strict",
+                                "--threshold", "1.2")
+        self.assertEqual(code, 1)
+        code, _ = self.run_tool(base, fresh, "--strict",
+                                "--threshold", "1.5")
+        self.assertEqual(code, 0)
+
+    def test_improvement_reported_not_failed(self):
+        base = bench_doc([("BM_A", 300.0, "ns")])
+        fresh = bench_doc([("BM_A", 100.0, "ns")])
+        code, out = self.run_tool(base, fresh, "--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("IMPROVED", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
