@@ -108,7 +108,10 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
     }
     return out;
   }
-  // Sparse case: rejection sampling into a set.
+  // Sparse case: rejection sampling into a set. The set answers
+  // membership queries only; output order comes from the draw sequence.
+  // NOLINT-DETERMINISM(unordered-container): lookup-only rejection set;
+  // iteration order is never observed.
   std::unordered_set<uint32_t> seen;
   seen.reserve(k * 2);
   while (out.size() < k) {

@@ -8,6 +8,13 @@
 //
 // The engine is xoshiro256**, seeded via splitmix64 (the construction
 // recommended by the xoshiro authors).
+//
+// "Flows through" is enforced statically: the determinism lint
+// (tools/lint/lint_determinism.py, rule banned-randomness) rejects
+// std::rand, std::random_device, wall-clock reads, and un-seeded <random>
+// engines anywhere in src/, and tools/check_banned_symbols.py verifies the
+// built library references no libc entropy/time symbols. See
+// docs/DETERMINISM.md.
 
 #ifndef VALIDITY_COMMON_RNG_H_
 #define VALIDITY_COMMON_RNG_H_

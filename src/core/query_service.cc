@@ -49,6 +49,9 @@ QueryService::QueryService(const QueryEngine* engine,
 }
 
 QueryService::~QueryService() {
+  // NOLINT-DETERMINISM(unordered-iteration): destructor teardown; each
+  // running lane is detached independently and nothing observable
+  // survives, so visit order cannot leak into results.
   for (auto& [id, q] : queries_) {
     if (q->phase == Phase::kRunning) DetachLane(q.get());
   }
@@ -325,6 +328,9 @@ void QueryService::set_on_completion(
 }
 
 void QueryService::Reset() {
+  // NOLINT-DETERMINISM(unordered-iteration): reset teardown; every lane
+  // is detached and the whole table cleared below, so visit order is
+  // unobservable (the rebuilt timeline starts from nothing).
   for (auto& [id, q] : queries_) {
     if (q->phase == Phase::kRunning) DetachLane(q.get());
   }
@@ -356,6 +362,8 @@ StatusOr<std::vector<QueryService::Completion>> QueryService::Replay(
     ids.push_back(id.value());
   }
   service.Drain();
+  // NOLINT-DETERMINISM(unordered-container): lookup-only index; results
+  // are emitted in the trace's arrival order below, never in map order.
   std::unordered_map<QueryId, Completion> by_id;
   Completion done;
   while (service.Poll(&done)) by_id.emplace(done.id, std::move(done));

@@ -252,6 +252,9 @@ class QueryService {
   SimTime churn_end_time_ = 0.0;
 
   QueryId next_id_ = 1;
+  // NOLINT-DETERMINISM(unordered-container): keyed lookup per arrival/
+  // completion; the only iterations are the ~QueryService/Reset teardown
+  // walks, which are annotated order-independent at the loop sites.
   std::unordered_map<QueryId, std::unique_ptr<QueryState>> queries_;
   std::deque<QueryId> deferred_;
   std::deque<Completion> completions_;

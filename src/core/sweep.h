@@ -13,6 +13,12 @@
 // This is a fork-join helper, not a persistent pool: threads are spawned
 // per call and joined before it returns. Sweep cells are milliseconds to
 // seconds of simulation each, so the ~10 us per-thread spawn cost is noise.
+//
+// The (a)+(b) discipline above — slot-indexed writes, serial-order merge —
+// is the idiom the determinism lint's float-accumulation rule pins: shared
+// FP accumulators inside ParallelFor bodies are rejected at lint time
+// because FP addition is not associative across thread interleavings. See
+// docs/DETERMINISM.md.
 
 #ifndef VALIDITY_CORE_SWEEP_H_
 #define VALIDITY_CORE_SWEEP_H_

@@ -65,6 +65,9 @@ class StandardByzantineMutator : public sim::ByzantineMutator {
   uint32_t phantoms_ = 0;
   PartialAggregate inflation_;
   /// kStaleReplay: first payload seen per (kind << 32 | src).
+  // NOLINT-DETERMINISM(unordered-container): keyed try_emplace/lookup
+  // only (byzantine.cc); the cache is never iterated, so bucket order
+  // cannot leak into corrupted payloads.
   std::unordered_map<uint64_t, CachedPayload> stale_cache_;
 };
 

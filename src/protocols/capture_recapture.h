@@ -17,7 +17,7 @@
 #define VALIDITY_PROTOCOLS_CAPTURE_RECAPTURE_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "common/rng.h"
@@ -75,7 +75,11 @@ class CaptureRecaptureEstimator {
   CaptureRecaptureOptions options_;
   Rng rng_;
   HostId hq_ = kInvalidHost;
-  std::unordered_set<HostId> marked_;       // M_t
+  // M_t. Ordered so that the alive-filter walk and the max_marked trim
+  // (which evicts the lowest host ids) are deterministic across standard
+  // library implementations; an unordered set would trim a bucket-order
+  // arbitrary element.
+  std::set<HostId> marked_;
   std::vector<HostId> previous_sample_;     // N_{t-1}
   std::vector<SizeEstimate> estimates_;
   uint32_t intervals_done_ = 0;

@@ -108,9 +108,20 @@ using MergeCompareFn = MergeFlags (*)(uint64_t* __restrict,
 
 // Constant-initialized to the scalar kernels so any merge running before
 // dynamic initialization is still correct; the dynamic initializer below
-// upgrades to AVX2 when the CPU has it.
+// upgrades to AVX2 when the CPU has it. These three words are the one
+// sanctioned piece of mutable global state in simulation code: written
+// once at startup from cpuid (plus the ForceScalarSketchKernels test
+// hook), and the AVX2/scalar kernels are bit-identical by contract
+// (sketch_test cross-checks full blocks, tails, and empty inputs), so
+// which kernel is installed can never change a result.
+// NOLINT-DETERMINISM(static-state): cpuid kernel dispatch, written once
+// at startup; both kernels are bit-identical (sketch_test cross-check).
 MergeOrFn g_merge_or = &MergeOrWordsScalar;
+// NOLINT-DETERMINISM(static-state): cpuid kernel dispatch, written once
+// at startup; both kernels are bit-identical (sketch_test cross-check).
 MergeCompareFn g_merge_compare = &MergeOrCompareWordsScalar;
+// NOLINT-DETERMINISM(static-state): diagnostic label tracking the
+// installed kernel (ActiveSketchKernel); never feeds simulation state.
 const char* g_kernel_name = "scalar";
 
 bool SelectSimdKernels() {

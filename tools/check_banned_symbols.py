@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Object-level backstop for the determinism contract (docs/DETERMINISM.md).
+
+The source lint (tools/lint/lint_determinism.py) cannot see through
+macros, templates expanded from third-party headers, or code generated at
+build time. This tool scans *built* objects with `nm --undefined-only`
+and fails if any banned libc randomness/time symbol is referenced: if one
+of these names appears as an undefined symbol in libvalidity.a, some
+translation unit calls it, whatever the source looked like.
+
+Banned symbols are matched exactly (C-level names, optionally with a
+@GLIBC version suffix), never as substrings — the repo's own mangled
+C++ names legitimately contain "Random" and "Timer".
+
+Usage:
+    tools/check_banned_symbols.py build/libvalidity.a [more objects...]
+        [--allow SYM ...] [--nm NM]
+
+Exit status: 0 = clean, 1 = banned reference found, 2 = usage/tool error.
+"""
+
+import argparse
+import subprocess
+import sys
+
+# Nondeterministic randomness: anything here produces different bits per
+# run/machine; all simulation randomness must flow through the seeded
+# common/rng.h Mix64 path.
+BANNED_RANDOM = {
+    "rand", "rand_r", "srand", "random", "random_r", "srandom",
+    "srandom_r", "initstate", "setstate",
+    "drand48", "erand48", "lrand48", "nrand48", "mrand48", "jrand48",
+    "srand48", "seed48", "lcong48", "drand48_r", "lrand48_r",
+    "mrand48_r", "srand48_r",
+    "getrandom", "getentropy",
+    "arc4random", "arc4random_buf", "arc4random_uniform",
+}
+
+# Wall-clock time: results must depend only on simulated time and seeds.
+# (clock_gettime stays off this list: libstdc++'s std::thread /
+# condition_variable internals may reference it from inlined header code
+# without any repo source naming a clock; the source lint bans the
+# std::chrono clock types directly instead.)
+BANNED_TIME = {
+    "time", "gettimeofday", "ftime", "clock", "timespec_get",
+}
+
+BANNED = BANNED_RANDOM | BANNED_TIME
+
+
+def undefined_symbols(nm, path):
+    """Yields (member, symbol) for every undefined symbol in `path`."""
+    try:
+        out = subprocess.run(
+            [nm, "--undefined-only", "--format=posix", path],
+            capture_output=True, text=True, check=True).stdout
+    except FileNotFoundError:
+        raise SystemExit("nm not found (%r); pass --nm" % nm)
+    except subprocess.CalledProcessError as exc:
+        raise SystemExit("nm failed on %s: %s" % (path, exc.stderr.strip()))
+    member = path
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.endswith(":"):  # archive member header, e.g. "foo.cc.o:"
+            member = "%s(%s)" % (path, line[:-1].split("[")[-1].rstrip("]"))
+            continue
+        symbol = line.split()[0]
+        yield member, symbol
+
+
+def base_name(symbol):
+    """Strips a @GLIBC_x / @@GLIBC_x version suffix."""
+    return symbol.split("@", 1)[0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail if built objects reference banned libc "
+                    "randomness/time symbols.")
+    parser.add_argument("objects", nargs="+",
+                        help="archives (.a) or object files (.o) to scan")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="SYM",
+                        help="symbol to exempt (repeatable); use only "
+                             "with a reviewed justification")
+    parser.add_argument("--nm", default="nm",
+                        help="nm binary to use (default: nm)")
+    args = parser.parse_args(argv)
+
+    allowed = set(args.allow)
+    violations = []
+    scanned = 0
+    for path in args.objects:
+        scanned += 1
+        for member, symbol in undefined_symbols(args.nm, path):
+            name = base_name(symbol)
+            if name in BANNED and name not in allowed:
+                violations.append((member, name))
+
+    for member, name in sorted(set(violations)):
+        print("%s: references banned symbol '%s' — all randomness/time "
+              "must flow through the seeded common/rng.h path "
+              "(docs/DETERMINISM.md)" % (member, name))
+    print("check_banned_symbols: %d object(s), %d banned reference(s)"
+          % (scanned, len(set(violations))))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

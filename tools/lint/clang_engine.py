@@ -1,0 +1,181 @@
+"""libclang engine for the determinism lint.
+
+Preferred engine when the clang Python bindings and a loadable libclang
+are present (`pip install libclang` or a distro python3-clang package).
+It shares the rule semantics — and most of the implementation — with the
+regex engine in lint_determinism.py, upgrading the parts where real type
+information beats text matching:
+
+  * unordered names are collected from VAR_DECL/FIELD_DECL canonical
+    types instead of declaration-text pattern matching, so a vector that
+    happens to share a name with an unordered member elsewhere no longer
+    aliases into a false positive;
+  * range-for statements are classified by the range expression's
+    canonical type, catching iteration over temporaries and function
+    results the text engine cannot see;
+  * static-state uses the AST: namespace-scope VAR_DECLs and
+    function-local statics, with const-ness read off the type (a
+    `const char*` is correctly mutable — the pointer reseats).
+
+Import of this module must only succeed when libclang is actually
+usable: lint_determinism.make_engine treats any exception here as "fall
+back to regex".
+"""
+
+import os
+import re
+
+from clang import cindex
+
+# Fail fast at import time if the shared library cannot be loaded, so the
+# driver falls back to the regex engine instead of dying mid-scan.
+_PROBE_INDEX = cindex.Index.create()
+
+from lint_determinism import (  # noqa: E402  (import order is deliberate)
+    Finding,
+    ITERATION_SCOPE,
+    RegexEngine,
+    STATIC_SCOPE,
+    in_scope,
+    line_of,
+)
+
+_UNORDERED_TYPE_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def _include_dirs(path):
+    """The file's own directory plus the nearest ancestor named src/."""
+    dirs = [os.path.dirname(os.path.abspath(path)) or "."]
+    probe = dirs[0]
+    while True:
+        parent = os.path.dirname(probe)
+        if os.path.basename(probe) == "src":
+            dirs.append(probe)
+            break
+        if parent == probe:
+            break
+        probe = parent
+    return dirs
+
+
+class ClangEngine(RegexEngine):
+    name = "clang"
+
+    def __init__(self, paths_and_text):
+        super().__init__(paths_and_text)
+        self.index = _PROBE_INDEX
+        self.tus = {}
+        typed_names = set()
+        for path, text in paths_and_text:
+            tu = self._parse(path, text)
+            if tu is None:
+                continue
+            self.tus[path] = tu
+            for cursor in self._main_file_cursors(tu, path):
+                if cursor.kind in (cindex.CursorKind.VAR_DECL,
+                                   cindex.CursorKind.FIELD_DECL):
+                    spelling = cursor.type.get_canonical().spelling
+                    if _UNORDERED_TYPE_RE.search(spelling):
+                        typed_names.add(cursor.spelling)
+        if typed_names:
+            # Typed names replace the text-collected set for every parsed
+            # file; files that failed to parse keep matching against the
+            # union so nothing is silently unchecked.
+            self.unordered_names = typed_names | {
+                n for p, _ in paths_and_text if p not in self.tus
+                for n in self.unordered_names}
+
+    # ------------------------------------------------------------------
+    def _parse(self, path, text):
+        args = ["-std=c++20", "-xc++"]
+        for inc in _include_dirs(path):
+            args += ["-I", inc]
+        try:
+            tu = self.index.parse(path, args=args,
+                                  unsaved_files=[(path, text)])
+        except cindex.TranslationUnitLoadError:
+            return None
+        # Hard parse failures (missing headers etc.) degrade that file to
+        # the regex rules rather than producing a half-seen AST.
+        for diag in tu.diagnostics:
+            if diag.severity >= cindex.Diagnostic.Fatal:
+                return None
+        return tu
+
+    @staticmethod
+    def _main_file_cursors(tu, path):
+        base = os.path.abspath(path)
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if loc.file is not None and \
+                    os.path.abspath(loc.file.name) == base:
+                yield cursor
+
+    # -- rule: unordered-iteration (AST range classification) ----------
+    def _rule_unordered_iteration(self, path, text):
+        tu = self.tus.get(path)
+        if tu is None:
+            return super()._rule_unordered_iteration(path, text)
+        if not in_scope(path, ITERATION_SCOPE):
+            return []
+        out = []
+        for cursor in self._main_file_cursors(tu, path):
+            if cursor.kind != cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                continue
+            children = list(cursor.get_children())
+            if len(children) < 2:
+                continue
+            range_expr = children[-2]
+            spelling = range_expr.type.get_canonical().spelling
+            if _UNORDERED_TYPE_RE.search(spelling):
+                out.append(Finding(
+                    path, cursor.location.line, "unordered-iteration",
+                    "range-for over unordered container (%s): iteration "
+                    "order is implementation-defined and leaks into "
+                    "results" % (range_expr.spelling or "expression")))
+        # begin() on known unordered names: reuse the shared text rule,
+        # excluding the range-for lines the AST already claimed.
+        ast_lines = {f.line for f in out}
+        for f in super()._rule_unordered_iteration(path, text):
+            if f.line not in ast_lines or "iterator over" in f.message:
+                out.append(f)
+        return out
+
+    # -- rule: static-state (AST scopes and const-ness) -----------------
+    def _rule_static_state(self, path, text):
+        tu = self.tus.get(path)
+        if tu is None:
+            return super()._rule_static_state(path, text)
+        if not path.endswith((".cc", ".cpp")):
+            return []
+        if not in_scope(path, STATIC_SCOPE):
+            return []
+        out = []
+        for cursor in self._main_file_cursors(tu, path):
+            if cursor.kind != cindex.CursorKind.VAR_DECL:
+                continue
+            parent = cursor.semantic_parent
+            at_ns_scope = parent is not None and parent.kind in (
+                cindex.CursorKind.NAMESPACE,
+                cindex.CursorKind.TRANSLATION_UNIT)
+            is_local_static = (not at_ns_scope and
+                               cursor.storage_class ==
+                               cindex.StorageClass.STATIC)
+            if not at_ns_scope and not is_local_static:
+                continue
+            ctype = cursor.type.get_canonical()
+            if ctype.is_const_qualified():
+                continue  # const object; pointee-const stays flagged
+            if ctype.spelling.startswith(("const ",)) and \
+                    "*" not in ctype.spelling:
+                continue
+            kind = ("function-local static"
+                    if is_local_static else
+                    "mutable namespace-scope state '%s'" % cursor.spelling)
+            out.append(Finding(
+                path, cursor.location.line, "static-state",
+                "%s in a simulation translation unit: cross-query/"
+                "cross-thread state bypasses the session reset contract"
+                % kind))
+        return out
